@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs its figure's experiment once (rounds=1): these are
+whole-simulation macro-benchmarks, not micro-benchmarks, and the interesting
+outputs are the *figures' numbers*, which every bench also asserts against
+the paper's qualitative shape before reporting timing.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

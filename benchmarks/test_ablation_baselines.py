@@ -1,0 +1,85 @@
+"""Section 5 comparison: TFRC vs TFRCP vs RAP on a congestion step.
+
+The paper compares TFRC against TFRCP "over a wide range of timescales" and
+finds TFRC better; RAP is expected to coexist worse with TCP because it
+ignores timeout effects.  This bench quantifies the transient behaviour of
+the three protocols on the same step-congestion path:
+
+* reaction time to a 10x congestion increase,
+* smoothness (CoV of the allowed rate) in the steady phases.
+"""
+
+import numpy as np
+
+from repro.baselines.rap import RapFlow
+from repro.baselines.tfrcp import TfrcpFlow
+from repro.core import TfrcFlow
+from repro.net.monitor import FlowMonitor
+from repro.net.path import LossyPath, bernoulli_loss, scheduled_loss
+from repro.sim import Simulator
+
+
+def run_protocol(flow_cls, duration=120.0, rtt=0.1, seed=7):
+    rng = np.random.default_rng(seed)
+    model = scheduled_loss(
+        [(0.0, bernoulli_loss(0.005, rng)), (60.0, bernoulli_loss(0.05, rng))]
+    )
+    sim = Simulator()
+    forward = LossyPath(sim, delay=rtt / 2, loss_model=model)
+    reverse = LossyPath(sim, delay=rtt / 2)
+    monitor = FlowMonitor()
+    flow = flow_cls(sim, "x", forward, reverse, on_data=monitor.on_packet)
+    flow.start()
+    sim.run(until=duration)
+    return flow, monitor
+
+
+def reaction_time(rates, onset=60.0):
+    pre = [r for t, r in rates if onset - 10 <= t < onset]
+    if not pre:
+        return float("nan")
+    threshold = np.mean(pre) / 2
+    for t, r in rates:
+        if t >= onset and r <= threshold:
+            return t - onset
+    return float("inf")
+
+
+def smoothness(rates, t0, t1):
+    window = [r for t, r in rates if t0 <= t <= t1]
+    if not window:
+        return float("nan")
+    return float(np.std(window) / np.mean(window))
+
+
+def run_comparison():
+    out = {}
+    for name, cls in (("tfrc", TfrcFlow), ("tfrcp", TfrcpFlow), ("rap", RapFlow)):
+        flow, monitor = run_protocol(cls)
+        rates = flow.sender.rate_history
+        out[name] = {
+            "reaction": reaction_time(rates),
+            "smooth_calm": smoothness(rates, 30, 60),
+            "throughput_congested": monitor.throughput_bps("x", 80, 120),
+        }
+    return out
+
+
+def test_baseline_comparison(once, benchmark):
+    results = once(benchmark, run_comparison)
+    print("\nSection 5 baseline comparison (0.5% -> 5% loss step at t=60):")
+    for name, metrics in results.items():
+        print(
+            f"  {name:6s} reaction {metrics['reaction']:6.2f}s  "
+            f"calm CoV {metrics['smooth_calm']:.3f}  "
+            f"congested {metrics['throughput_congested'] / 1e3:.0f} kb/s"
+        )
+    # TFRC reacts within a few seconds (several RTTs of 0.1 s + estimator lag).
+    assert results["tfrc"]["reaction"] < 5.0
+    # TFRCP cannot react faster than its 5 s update interval.
+    assert results["tfrcp"]["reaction"] >= 3.0
+    # TFRC's transient response beats TFRCP's (the paper's conclusion).
+    assert results["tfrc"]["reaction"] < results["tfrcp"]["reaction"]
+    # All three throttle: congested throughput well below the calm fair rate.
+    for name in results:
+        assert results[name]["throughput_congested"] < 3e6

@@ -1,0 +1,56 @@
+"""Extension bench: multicast TFRC (paper section 6).
+
+Checks the two properties section 6 demands of scalable multicast
+congestion control:
+
+* the sender's rate tracks the **worst** receiver's calculated rate (a
+  receiver behind a lossy path governs the group), and
+* feedback stays bounded as the group grows (suppression prevents
+  response implosion).
+"""
+
+from repro.multicast import MulticastTfrcSession
+from repro.net.path import periodic_loss
+from repro.sim import Simulator
+
+
+def run_scaling(group_sizes=(4, 16, 64), duration=40.0):
+    """Same loss everywhere (hardest suppression case); count reports."""
+    reports = {}
+    rates = {}
+    for n in group_sizes:
+        sim = Simulator()
+        specs = [(0.05, periodic_loss(100)) for _ in range(n)]
+        session = MulticastTfrcSession(sim, specs, seed=2, round_duration=2.0)
+        session.start()
+        sim.run(until=duration)
+        reports[n] = session.total_reports
+        rates[n] = session.sender.rate
+    return reports, rates
+
+
+def test_extension_multicast(once, benchmark):
+    reports, rates = once(benchmark, run_scaling)
+    sizes = sorted(reports)
+    print("\nMulticast TFRC extension (reports over 40 s, by group size):")
+    for n in sizes:
+        print(f"  N={n:3d}: {reports[n]:4d} reports, rate {rates[n] / 1e3:.0f} kB/s")
+    # Sublinear feedback: 16x receivers -> far fewer than 16x reports.
+    assert reports[sizes[-1]] < reports[sizes[0]] * (sizes[-1] / sizes[0]) * 0.5
+    # All group sizes converge to a similar (loss-governed) rate.
+    values = list(rates.values())
+    assert max(values) < 4 * min(values)
+
+    # Worst-receiver tracking: one receiver behind a much lossier path.
+    sim = Simulator()
+    specs = [(0.05, None)] * 7 + [(0.05, periodic_loss(20))]
+    session = MulticastTfrcSession(sim, specs, seed=3)
+    session.start()
+    sim.run(until=60.0)
+    worst = session.bottleneck_receiver()
+    assert worst.receiver_id.endswith("rx7")
+    assert session.sender.rate < 2.0 * worst.calculated_rate()
+    print(
+        f"  heterogeneous group: sender {session.sender.rate / 1e3:.0f} kB/s, "
+        f"bottleneck receiver allows {worst.calculated_rate() / 1e3:.0f} kB/s"
+    )

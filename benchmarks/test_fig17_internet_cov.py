@@ -1,0 +1,25 @@
+"""Figure 17 bench: CoV of TFRC and TCP over the five named paths.
+
+Paper's observation: TFRC is smoother than TCP on every path; the Solaris
+TCP trace is abnormally variable (its defect shows in the CoV plot) while
+the corresponding TFRC trace is normal.
+"""
+
+import numpy as np
+
+from repro.experiments import internet
+
+
+def test_fig17_internet_cov(once, benchmark):
+    results = once(benchmark, internet.run_all, duration=90.0)
+    print("\nFigure 17 reproduction (CoV at the shortest timescale):")
+    smoother = 0
+    for name, result in results.items():
+        tau = sorted(result.cov_tfrc_by_tau)[0]
+        cov_tfrc = result.cov_tfrc_by_tau[tau]
+        cov_tcp = result.cov_tcp_by_tau[tau]
+        print(f"  {name:14s} TFRC {cov_tfrc:.2f}  TCP {cov_tcp:.2f}")
+        if cov_tfrc < cov_tcp:
+            smoother += 1
+    # TFRC smoother on (almost) every path.
+    assert smoother >= len(results) - 1

@@ -1,0 +1,31 @@
+"""Figure 19 / Appendix A.1 bench: the bounded increase rate of TFRC.
+
+Regenerates the allowed-rate trace around the end of congestion and checks
+the analytic bounds: ~0.12-0.14 packets/RTT/RTT normally, up to ~0.3 with
+history discounting, and a delayed start of the increase.
+"""
+
+from repro.experiments import fig19_increase as fig19
+
+
+def test_fig19_increase_rate(once, benchmark):
+    result = once(benchmark, fig19.run, duration=13.0)
+    start = result.increase_start_time()
+    normal_slope = result.mean_slope(start, start + 0.7)
+    late_slope = result.mean_slope(result.loss_stop_time + 2.0, result.times[-1])
+    bounds = fig19.analytic_bounds()
+    print("\nFigure 19 reproduction:")
+    print(f"  increase starts at t = {start:.2f} (loss stops at 10.0; paper: ~10.75)")
+    print(f"  early increase rate : {normal_slope:.3f} pkts/RTT (paper ~0.12)")
+    print(f"  discounted rate     : {late_slope:.3f} pkts/RTT (paper <= ~0.29)")
+    print(f"  analytic bounds     : {bounds['delta_normal_simple']:.3f} / "
+          f"{bounds['delta_discounted_simple']:.3f}")
+    # The rate does not increase immediately: the current interval must
+    # first exceed the average (paper: ~0.75 s for p=0.01).
+    assert result.loss_stop_time + 0.2 <= start <= result.loss_stop_time + 1.5
+    # Early increase near the no-discounting bound.
+    assert 0.04 <= normal_slope <= 0.20
+    # Discounted increase bounded by ~0.28-0.31 plus sampling slack.
+    assert late_slope <= 0.40
+    # And discounting accelerates relative to the early phase.
+    assert late_slope > normal_slope

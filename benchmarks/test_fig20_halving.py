@@ -1,0 +1,20 @@
+"""Figure 20 / Appendix A.2 bench: response to persistent congestion.
+
+Drop every 100th packet, then every 2nd from t=10: the allowed rate must
+halve within the paper's window of 3-8 round-trip times (the paper's Figure
+20 shows exactly 5).
+"""
+
+from repro.experiments import fig20_halving as fig20
+
+
+def test_fig20_halving(once, benchmark):
+    result = once(benchmark, fig20.run)
+    rtts = result.rtts_to_halve()
+    print(f"\nFigure 20 reproduction: rate halves in {rtts:.1f} RTTs "
+          "(paper: 5, range 3-8)")
+    assert rtts is not None
+    assert 3.0 <= rtts <= 8.5
+    # The A.2 lower bound: with mild pre-congestion (p=0.01), halving cannot
+    # happen in under ~5 RTTs.
+    assert rtts >= 4.5

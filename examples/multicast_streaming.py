@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Multicast TFRC session: one sender, heterogeneous receivers (section 6).
+
+Streams one source to eight receivers whose paths differ in loss.  The
+demonstration covers the two multicast-specific mechanisms the paper
+identifies:
+
+* the sender adapts to the **worst** receiver (the group rate equals the
+  rate the most congested path supports), and
+* **feedback suppression** keeps the number of receiver reports far below
+  one-per-receiver-per-round, preventing response implosion.
+
+Run:  python examples/multicast_streaming.py
+"""
+
+from repro.multicast import MulticastTfrcSession
+from repro.net.path import periodic_loss
+from repro.sim import Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    # Eight receivers: six clean, one mildly lossy, one badly congested.
+    specs = [(0.04, None)] * 6
+    specs.append((0.06, periodic_loss(200)))   # mild: p = 0.5%
+    specs.append((0.08, periodic_loss(30)))    # bottleneck: p = 3.3%
+    session = MulticastTfrcSession(sim, specs, seed=11, round_duration=1.0)
+    session.start()
+
+    duration = 60.0
+    sim.run(until=duration)
+
+    sender = session.sender
+    rounds = max(1, len(sender.rate_history) - 1)
+    print(f"Multicast TFRC session after {duration:.0f} s, "
+          f"{len(session.receivers)} receivers:")
+    print(f"  sender rate               : {sender.rate * 8 / 1e3:8.1f} kb/s")
+    worst = session.bottleneck_receiver()
+    print(f"  bottleneck receiver       : {worst.receiver_id} "
+          f"(allows {worst.calculated_rate() * 8 / 1e3:.1f} kb/s, "
+          f"p = {worst.loss_event_rate():.4f})")
+    print(f"  receiver reports in total : {session.total_reports} "
+          f"({session.total_reports / rounds:.1f} per round, vs "
+          f"{len(session.receivers)} without suppression)")
+    print("\nPer-receiver state:")
+    for receiver in session.receivers:
+        print(
+            f"  {receiver.receiver_id}: received {receiver.packets_received:5d} "
+            f"pkts, p = {receiver.loss_event_rate():.4f}, "
+            f"reports sent = {receiver.reports_sent}"
+        )
+    print(
+        "\nThe sender tracks the most-congested receiver, and suppression"
+        "\nkeeps feedback sublinear in the group size -- the two properties"
+        "\nsection 6 of the paper requires from multicast congestion control."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Run TFRC over real UDP sockets on loopback, through an impairment proxy.
+
+This is the repository's analogue of the paper's real-world experiments
+(section 4.3): the same TFRC protocol machines validated in simulation run
+here over the operating system's UDP stack, with
+:class:`repro.rt.UdpImpairmentProxy` standing in for Dummynet.
+
+The script runs three short sessions over 127.0.0.1:
+
+1. a clean path (no loss) -- slow start opens the rate up;
+2. periodic loss (every 25th data packet dropped) -- the equation holds the
+   rate near  1.2/sqrt(p)  packets per RTT;
+3. bursty loss from a Gilbert-Elliott process -- loss *events* rather than
+   packet losses drive the rate, so bursts cost less than their packet
+   count suggests.
+
+Everything stays on the local machine; total wall-clock time is ~9 seconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.net.lossmodels import gilbert_elliott_from_rate
+from repro.rt import drop_every_nth_data, run_loopback_session
+from repro.rt.proxy import DatagramLossModel
+from repro.wire.headers import DataPacket, WireFormatError, decode_packet
+
+ONE_WAY_DELAY = 0.02  # seconds; RTT = 40 ms through the proxy
+PACKET_SIZE = 500     # bytes on the wire
+
+
+def gilbert_datagram_model(rate: float, burst: float, seed: int) -> DatagramLossModel:
+    """Adapt the packet-level Gilbert-Elliott model to raw datagrams."""
+    from repro.net.packet import Packet
+
+    model = gilbert_elliott_from_rate(rate, burst, np.random.default_rng(seed))
+
+    def datagram_model(data: bytes, now: float) -> bool:
+        try:
+            parsed = decode_packet(data)
+        except WireFormatError:
+            return False
+        if not isinstance(parsed, DataPacket):
+            return False
+        fake = Packet(flow_id="rt", seq=parsed.seq, size=len(data))
+        return model(fake, now)
+
+    return datagram_model
+
+
+def describe(title: str, result, expected_p: float | None) -> None:
+    print(f"\n=== {title} ===")
+    print(f"  data sent / received : {result.datagrams_sent} / "
+          f"{result.datagrams_received}")
+    print(f"  proxy drops          : {result.datagrams_dropped}")
+    print(f"  feedback reports     : {result.feedback_received}")
+    print(f"  smoothed RTT         : "
+          f"{result.srtt * 1e3:.1f} ms" if result.srtt else "  smoothed RTT: n/a")
+    print(f"  loss event rate p    : {result.loss_event_rate:.4f}"
+          + (f"  (packet loss imposed: {expected_p:.4f})" if expected_p else ""))
+    print(f"  mean allowed rate    : {result.mean_rate_bps / 1e3:.1f} KB/s")
+    if result.loss_event_rate > 0 and result.srtt:
+        eq_pkts_per_rtt = 1.2 / math.sqrt(result.loss_event_rate)
+        measured = result.final_rate_bps * result.srtt / PACKET_SIZE
+        print(f"  equation predicts    : {eq_pkts_per_rtt:.1f} pkts/RTT; "
+              f"final rate is {measured:.1f} pkts/RTT")
+
+
+def main() -> None:
+    print("TFRC over real UDP sockets (loopback), proxy RTT "
+          f"{2 * ONE_WAY_DELAY * 1e3:.0f} ms")
+
+    clean = run_loopback_session(
+        duration=2.0, one_way_delay=ONE_WAY_DELAY, packet_size=PACKET_SIZE,
+    )
+    describe("clean path (slow start opens up)", clean, expected_p=None)
+
+    periodic = run_loopback_session(
+        duration=2.5, one_way_delay=ONE_WAY_DELAY, packet_size=PACKET_SIZE,
+        loss_model=drop_every_nth_data(25),
+    )
+    describe("periodic loss, 1 in 25", periodic, expected_p=1 / 25)
+
+    bursty = run_loopback_session(
+        duration=4.0, one_way_delay=ONE_WAY_DELAY, packet_size=PACKET_SIZE,
+        loss_model=gilbert_datagram_model(rate=0.04, burst=3.0, seed=2),
+    )
+    describe("bursty loss (Gilbert-Elliott, 4% in bursts of ~3)", bursty,
+             expected_p=0.04)
+    print("\nNote how the bursty session's loss *event* rate sits below its "
+          "packet\nloss rate: losses inside one RTT collapse into a single "
+          "event\n(paper section 3.5.1), so TFRC sends faster than a naive "
+          "loss-fraction\ncontroller would.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: equation-based congestion control for unicast applications (TFRC).
+
+A from-scratch reproduction of Floyd, Handley, Padhye, Widmer,
+"Equation-Based Congestion Control for Unicast Applications" (SIGCOMM 2000),
+including the packet-level network simulator, TCP baselines, background
+traffic models, and the analysis methodology the paper's evaluation uses.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.net import Dumbbell, DumbbellConfig
+    from repro.core import TfrcFlow
+
+    sim = Simulator()
+    dumbbell = Dumbbell(sim, DumbbellConfig(bandwidth_bps=15e6))
+    fwd, rev = dumbbell.attach_flow("tfrc-0", base_rtt=0.1)
+    flow = TfrcFlow(sim, "tfrc-0", fwd, rev)
+    flow.start()
+    sim.run(until=30.0)
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from repro.core import TfrcFlow, TfrcReceiver, TfrcSender
+
+__all__ = [
+    "Simulator",
+    "RngRegistry",
+    "Tracer",
+    "TfrcFlow",
+    "TfrcSender",
+    "TfrcReceiver",
+    "__version__",
+]

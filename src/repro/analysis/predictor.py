@@ -1,0 +1,87 @@
+"""Loss-predictor evaluation: the methodology behind Figure 18.
+
+Section 4.4 evaluates the Average Loss Interval estimator by "its ability to
+predict the immediate future loss rate": for each loss event in a trace of
+loss intervals, a predictor computes the estimated loss rate from the
+preceding ``history`` intervals and is scored against the realized next
+interval.  The paper compares history sizes (2..32 intervals) and constant
+vs decreasing weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.loss_intervals import ali_weights
+
+
+def weighted_interval_predictor(
+    intervals: Sequence[float], weights: Sequence[float]
+) -> float:
+    """Predicted loss rate = 1 / weighted average of recent intervals.
+
+    ``intervals`` are newest-first; only ``len(weights)`` newest are used.
+    """
+    if not intervals:
+        raise ValueError("need at least one interval")
+    total = 0.0
+    total_weight = 0.0
+    for value, weight in zip(intervals, weights):
+        total += weight * value
+        total_weight += weight
+    if total_weight == 0 or total == 0:
+        return 0.0
+    return total_weight / total  # 1 / weighted mean
+
+
+def make_weights(history: int, decreasing: bool) -> List[float]:
+    """Constant weights, or the paper's decreasing-weight profile.
+
+    For odd/other sizes the decreasing profile generalizes the section 3.3
+    rule: full weight on the newest half, linear decay on the older half.
+    """
+    if history < 1:
+        raise ValueError("history must be >= 1")
+    if not decreasing:
+        return [1.0] * history
+    if history == 1:
+        return [1.0]
+    if history % 2 == 0:
+        return ali_weights(history)
+    # Generalize to odd sizes: newest ceil(h/2) get 1.0, rest decay linearly.
+    half = (history + 1) // 2
+    weights = [1.0] * half
+    tail = history - half
+    weights.extend(1.0 - (i + 1) / (tail + 1.0) for i in range(tail))
+    return weights
+
+
+def predictor_errors(
+    loss_intervals: Sequence[float],
+    history: int,
+    decreasing: bool,
+) -> Tuple[float, float]:
+    """Average prediction error and its std-dev over a loss-interval trace.
+
+    For each position i (with at least ``history`` predecessors), predict the
+    loss rate from intervals [i-history, i) and compare with the realized
+    rate 1/interval_i.  Returns (mean absolute error, std of error).
+    """
+    if history < 1:
+        raise ValueError("history must be >= 1")
+    intervals = [float(v) for v in loss_intervals]
+    if len(intervals) <= history:
+        raise ValueError(
+            f"trace of {len(intervals)} intervals too short for history {history}"
+        )
+    weights = make_weights(history, decreasing)
+    errors = []
+    for i in range(history, len(intervals)):
+        recent_newest_first = intervals[i - 1 :: -1][:history]
+        predicted = weighted_interval_predictor(recent_newest_first, weights)
+        actual = 1.0 / max(intervals[i], 1.0)
+        errors.append(abs(predicted - actual))
+    errs = np.asarray(errors)
+    return float(errs.mean()), float(errs.std())

@@ -1,0 +1,39 @@
+"""Application models: what congestion control smoothness means to users.
+
+The paper's motivation (section 1) is streaming multimedia: "halving the
+sending rate in response to a single congestion indication ... can
+noticeably reduce the user-perceived quality [TZ99]".  Figures 8/10/13
+quantify smoothness as the CoV of the send rate; this package translates
+rate traces into the *user-facing* quantities a streaming application
+cares about:
+
+* :mod:`repro.apps.playout` -- a playout buffer fed by a delivery trace
+  and drained at the media bitrate: startup delay, rebuffering events,
+  total stall time.
+* :mod:`repro.apps.adaptation` -- a quality-ladder adapter choosing an
+  encoding level from the observed delivery rate (with hysteresis, like
+  [TZ99]'s coupling of congestion control to a scalable encoder): mean
+  quality, switch frequency, time spent per level.
+
+Both are pure offline analyses over ``(time, bytes)`` arrival traces from
+:class:`repro.net.monitor.FlowMonitor`, so they compose with every
+simulation scenario in the repository and are deterministic.
+"""
+
+from repro.apps.adaptation import (
+    AdaptationResult,
+    EncodingLevel,
+    QualityAdapter,
+    standard_ladder,
+)
+from repro.apps.playout import PlayoutBuffer, PlayoutStats, simulate_playout
+
+__all__ = [
+    "PlayoutBuffer",
+    "PlayoutStats",
+    "simulate_playout",
+    "EncodingLevel",
+    "QualityAdapter",
+    "AdaptationResult",
+    "standard_ladder",
+]

@@ -1,0 +1,280 @@
+"""TEAR: TCP Emulation At the Receivers (Ozdemir & Rhee, 1999).
+
+The third related-work protocol of the paper's section 5: "the receiver
+emulates the congestion window modifications of a TCP sender, but then
+makes a translation from a window-based to a rate-based congestion control
+mechanism.  The receiver maintains an exponentially weighted moving average
+of the congestion window, and divides this by the estimated round-trip time
+to obtain a TCP-friendly sending rate."
+
+(The paper could not run comparative studies against TEAR for lack of
+information at the time; this implementation follows the published sketch
+so such comparisons are possible here.)
+
+Receiver-side emulation:
+
+* arrivals advance an emulated congestion window: +1 per "window" of
+  arrivals in slow start, +1/cwnd per arrival in congestion avoidance;
+* a detected loss (sequence gap) halves the emulated window once per
+  emulated RTT-window of packets (mirroring one-reduction-per-window TCP);
+* the reported rate is ``EWMA(cwnd) * packet_size / rtt``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet, PacketType
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, Timer
+
+PacketSender = Callable[[Packet], None]
+
+
+class TearReport:
+    """Receiver -> sender rate report."""
+
+    __slots__ = ("rate", "echo_ts", "echo_seq")
+
+    def __init__(self, rate: float, echo_ts: float, echo_seq: int) -> None:
+        self.rate = rate
+        self.echo_ts = echo_ts
+        self.echo_seq = echo_seq
+
+
+class TearReceiver:
+    """Emulates a TCP sender's window at the receiver."""
+
+    REPORT_SIZE = 40
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        send_report: PacketSender,
+        packet_size: int = 1000,
+        cwnd_ewma_weight: float = 0.1,
+        initial_rtt: float = 0.3,
+        report_interval: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self._send_report = send_report
+        self.packet_size = packet_size
+        self.cwnd_ewma_weight = cwnd_ewma_weight
+        self._rtt = initial_rtt
+        self._fixed_report_interval = report_interval
+        self.cwnd = 2.0
+        self.ssthresh = 64.0
+        self.smoothed_cwnd = self.cwnd
+        self._next_expected = 0
+        self._window_packets = 0  # arrivals since the last emulated round
+        self._reduced_this_window = False
+        self._last_packet: Optional[Packet] = None
+        self._report_timer = Timer(sim, self._report_due)
+        self.packets_received = 0
+        self.losses_detected = 0
+        self.reports_sent = 0
+        self._started = False
+
+    # -------------------------------------------------------------- inbound
+
+    def receive(self, packet: Packet) -> None:
+        if not packet.is_data:
+            return
+        self.packets_received += 1
+        info = packet.payload
+        if info is not None and getattr(info, "rtt_estimate", None):
+            self._rtt = info.rtt_estimate
+        self._last_packet = packet
+        if packet.seq > self._next_expected:
+            # Sequence gap: the missing packets were lost.
+            self.losses_detected += packet.seq - self._next_expected
+            self._on_emulated_loss()
+        if packet.seq >= self._next_expected:
+            self._next_expected = packet.seq + 1
+        self._on_emulated_arrival()
+        if not self._started:
+            self._started = True
+            self._schedule_report()
+
+    # ----------------------------------------------------- window emulation
+
+    def _on_emulated_arrival(self) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0  # slow start: +1 per ACKed packet
+        else:
+            self.cwnd += 1.0 / self.cwnd
+        self._window_packets += 1
+        if self._window_packets >= self.cwnd:
+            # One emulated round completed: re-arm the once-per-window
+            # reduction and fold the window into the EWMA.
+            self._window_packets = 0
+            self._reduced_this_window = False
+            self.smoothed_cwnd += self.cwnd_ewma_weight * (
+                self.cwnd - self.smoothed_cwnd
+            )
+
+    def _on_emulated_loss(self) -> None:
+        if self._reduced_this_window:
+            return  # at most one halving per window of data (like Sack TCP)
+        self._reduced_this_window = True
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = self.ssthresh
+        self.smoothed_cwnd += self.cwnd_ewma_weight * (
+            self.cwnd - self.smoothed_cwnd
+        )
+
+    # -------------------------------------------------------------- reports
+
+    def rate(self) -> float:
+        """The translated rate: smoothed window / RTT, in bytes/second."""
+        return self.smoothed_cwnd * self.packet_size / max(self._rtt, 1e-3)
+
+    def _report_interval(self) -> float:
+        if self._fixed_report_interval is not None:
+            return self._fixed_report_interval
+        return max(self._rtt, 0.05)
+
+    def _schedule_report(self) -> None:
+        self._report_timer.start(self._report_interval())
+
+    def _report_due(self) -> None:
+        if self._last_packet is not None:
+            info = self._last_packet.payload
+            echo_ts = getattr(info, "ts", self._last_packet.sent_at)
+            report = TearReport(
+                rate=self.rate(), echo_ts=echo_ts, echo_seq=self._last_packet.seq
+            )
+            packet = Packet(
+                flow_id=self.flow_id,
+                seq=self._last_packet.seq,
+                size=self.REPORT_SIZE,
+                ptype=PacketType.FEEDBACK,
+                sent_at=self.sim.now,
+                payload=report,
+            )
+            self.reports_sent += 1
+            self._send_report(packet)
+        self._schedule_report()
+
+    def stop(self) -> None:
+        self._report_timer.cancel()
+
+
+class TearSender:
+    """Paces packets at the receiver-computed rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        send_packet: PacketSender,
+        packet_size: int = 1000,
+        initial_rate_bps: float = 32_000.0,
+        rtt_ewma_weight: float = 0.1,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self._send_packet = send_packet
+        self.packet_size = packet_size
+        self.rate = initial_rate_bps / 8.0  # bytes/second
+        self.rtt_ewma_weight = rtt_ewma_weight
+        self.srtt: Optional[float] = None
+        self._seq = 0
+        self._send_timer = Timer(sim, self._send_next)
+        self._started = False
+        self._stopped = False
+        self.packets_sent = 0
+        self.reports_received = 0
+        self.rate_history = []
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.rate_history.append((self.sim.now, self.rate))
+        self._send_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._send_timer.cancel()
+
+    def on_report(self, packet: Packet) -> None:
+        if self._stopped or packet.ptype is not PacketType.FEEDBACK:
+            return
+        report = packet.payload
+        if not isinstance(report, TearReport):
+            return
+        self.reports_received += 1
+        rtt = self.sim.now - report.echo_ts
+        if rtt > 0:
+            if self.srtt is None:
+                self.srtt = rtt
+            else:
+                self.srtt += self.rtt_ewma_weight * (rtt - self.srtt)
+        self.rate = max(self.packet_size / 64.0, report.rate)
+        self.rate_history.append((self.sim.now, self.rate))
+
+    def _send_next(self) -> None:
+        if self._stopped:
+            return
+        from repro.core.sender import TfrcDataInfo  # same piggyback format
+
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=self._seq,
+            size=self.packet_size,
+            ptype=PacketType.DATA,
+            sent_at=self.sim.now,
+            payload=TfrcDataInfo(
+                ts=self.sim.now,
+                rtt_estimate=self.srtt if self.srtt is not None else 0.3,
+            ),
+        )
+        self._seq += 1
+        self.packets_sent += 1
+        self._send_packet(packet)
+        self._send_timer.start(self.packet_size / self.rate)
+
+
+class TearFlow:
+    """Convenience wiring of a TEAR sender/receiver over two ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        forward_port,
+        reverse_port,
+        on_data=None,
+        **sender_kwargs,
+    ) -> None:
+        self.sender = TearSender(
+            sim, flow_id, send_packet=lambda p: forward_port.send(p) and None,
+            **sender_kwargs,
+        )
+        self.receiver = TearReceiver(
+            sim, flow_id, send_report=lambda p: reverse_port.send(p) and None
+        )
+        if on_data is not None:
+            original = self.receiver.receive
+
+            def receive_and_monitor(packet, _orig=original):
+                if packet.is_data:
+                    on_data(sim.now, packet)
+                _orig(packet)
+
+            self.receiver.receive = receive_and_monitor
+        forward_port.connect(self.receiver.receive)
+        reverse_port.connect(self.sender.on_report)
+
+    def start(self, at=None) -> None:
+        if at is None:
+            self.sender.start()
+        else:
+            self.sender.sim.schedule(at, self.sender.start)
+
+    def stop(self) -> None:
+        self.sender.stop()
+        self.receiver.stop()

@@ -1,0 +1,227 @@
+"""TFRC receiver: loss event rate estimation and feedback generation.
+
+The receiver (paper section 3.3):
+
+* detects loss events from sequence gaps, coalescing losses within one RTT
+  (:mod:`~repro.core.loss_events`),
+* maintains the Average Loss Interval history and reports
+  ``p = 1 / average interval``,
+* measures the rate at which data arrived over the last RTT (used by the
+  sender's slow-start cap, section 3.4.1),
+* sends one feedback packet per round-trip time, plus an expedited report
+  whenever a *new* loss event is detected,
+* seeds the loss history with a synthetic interval when the first loss ends
+  slow start, derived by inverting the control equation at half the receive
+  rate at that moment (section 3.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.equations import invert_response
+from repro.core.loss_events import LossEvent, LossEventDetector
+from repro.core.loss_intervals import AverageLossIntervals
+from repro.net.packet import Packet, PacketType
+from repro.sim.engine import Simulator
+from repro.sim.process import Timer
+
+FeedbackSender = Callable[[Packet], None]
+
+
+@dataclass
+class TfrcFeedback:
+    """Payload of a TFRC feedback packet.
+
+    Attributes:
+        echo_ts: send timestamp of the most recent data packet received.
+        echo_seq: its sequence number.
+        delay: time the receiver held that packet before sending feedback
+            (subtracted by the sender when measuring the RTT).
+        p: the receiver's current loss event rate estimate.
+        recv_rate: bytes/second received over the last measurement interval.
+        expedited: True when triggered by a new loss event rather than the
+            regular per-RTT timer.
+    """
+
+    echo_ts: float
+    echo_seq: int
+    delay: float
+    p: float
+    recv_rate: float
+    expedited: bool = False
+
+
+class TfrcReceiver:
+    """Receiver half of the TFRC protocol."""
+
+    FEEDBACK_SIZE = 40  # bytes
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        send_feedback: FeedbackSender,
+        packet_size: int = 1000,
+        ali_n: int = 8,
+        history_discounting: bool = True,
+        reorder_tolerance: int = 3,
+        on_data: Optional[Callable[[float, Packet], None]] = None,
+        feedback_interval_rtts: float = 1.0,
+    ) -> None:
+        if feedback_interval_rtts <= 0:
+            raise ValueError("feedback_interval_rtts must be positive")
+        self.sim = sim
+        self.flow_id = flow_id
+        self._send_feedback = send_feedback
+        self.packet_size = packet_size
+        self.on_data = on_data
+        #: report every this-many RTTs.  The paper's design goal (section 3)
+        #: is at least once per RTT (1.0, the default); larger values are
+        #: for the feedback-frequency ablation only.
+        self.feedback_interval_rtts = feedback_interval_rtts
+        self.intervals = AverageLossIntervals(
+            n=ali_n, discounting=history_discounting
+        )
+        self.detector = LossEventDetector(
+            rtt_fn=self._current_rtt,
+            reorder_tolerance=reorder_tolerance,
+            on_event=self._on_new_loss_event,
+        )
+        self._rtt_from_sender = 0.0
+        self._last_packet: Optional[Packet] = None
+        self._last_packet_recv_time = 0.0
+        self._feedback_timer = Timer(sim, self._feedback_due)
+        self._arrivals: List[Tuple[float, int]] = []  # (time, bytes) window
+        self._history_seeded = False
+        self.feedback_sent = 0
+        self.first_packet_seen = False
+
+    # ------------------------------------------------------------- helpers
+
+    def _current_rtt(self) -> float:
+        return self._rtt_from_sender
+
+    def _measurement_window(self) -> float:
+        """Receive-rate window: one RTT, with a sane floor."""
+        return max(self._rtt_from_sender, 0.05)
+
+    def receive_rate(self) -> float:
+        """Bytes/second received over the last measurement window."""
+        window = self._measurement_window()
+        cutoff = self.sim.now - window
+        self._arrivals = [(t, b) for t, b in self._arrivals if t >= cutoff]
+        total = sum(b for _, b in self._arrivals)
+        return total / window
+
+    def loss_event_rate(self) -> float:
+        return self.intervals.loss_event_rate()
+
+    # -------------------------------------------------------------- arrival
+
+    def receive(self, packet: Packet) -> None:
+        """Handle one arriving data packet."""
+        if not packet.is_data:
+            return
+        info = packet.payload
+        if info is not None and getattr(info, "rtt_estimate", None) is not None:
+            self._rtt_from_sender = info.rtt_estimate
+        if self.on_data is not None:
+            self.on_data(self.sim.now, packet)
+        self._arrivals.append((self.sim.now, packet.size))
+        self._last_packet = packet
+        self._last_packet_recv_time = self.sim.now
+
+        previous_open = self.detector.open_interval_packets()
+        if packet.ecn_marked:
+            # ECN: a mark is a congestion signal without a sequence gap.
+            self.detector.on_congestion_mark(packet.seq, self.sim.now)
+        self.detector.on_arrival(packet.seq, self.sim.now)
+        # Keep the ALI open-interval synchronized with the detector's view
+        # (sequence-space accounting survives reordering and burst arrivals).
+        current_open = self.detector.open_interval_packets()
+        if current_open > previous_open and self.detector.events:
+            self.intervals.on_packet(current_open - previous_open)
+        elif not self.detector.events:
+            self.intervals.on_packet(1.0)
+
+        if not self.first_packet_seen:
+            self.first_packet_seen = True
+            self._send_report(expedited=False)
+            self._schedule_feedback()
+
+    def _on_new_loss_event(self, event: LossEvent) -> None:
+        if not self._history_seeded:
+            self._seed_history()
+        self.intervals.on_loss_event(event.closed_interval)
+        # Expedited feedback: tell the sender about new congestion promptly.
+        self._send_report(expedited=True)
+        self._schedule_feedback()
+
+    def _seed_history(self) -> None:
+        """First-ever loss: fabricate the slow-start loss interval.
+
+        Half the current receive rate is assumed to be the correct rate
+        (section 3.4.1); the control-equation inverse maps it to a loss event
+        rate whose reciprocal seeds the interval history.
+        """
+        self._history_seeded = True
+        rate = self.receive_rate()
+        rtt = max(self._rtt_from_sender, 1e-3)
+        if rate <= 0:
+            return
+        p = invert_response(
+            packet_size=self.packet_size,
+            rtt=rtt,
+            target_rate=rate / 2.0,
+            t_rto=4.0 * rtt,
+        )
+        if p > 0:
+            self.intervals.seed(max(1.0, 1.0 / p))
+
+    # ------------------------------------------------------------- feedback
+
+    def _schedule_feedback(self) -> None:
+        self._feedback_timer.start(
+            self.feedback_interval_rtts * self._measurement_window()
+        )
+
+    def _feedback_due(self) -> None:
+        # Report only if we received anything since the last report was due
+        # (the paper: feedback at least once per RTT *if* packets arrived).
+        # The epsilon absorbs float round-off when an arrival lands exactly
+        # one window ago.
+        window = self.feedback_interval_rtts * self._measurement_window()
+        cutoff = self.sim.now - window - 1e-9
+        if self._arrivals and self._arrivals[-1][0] >= cutoff:
+            self._send_report(expedited=False)
+        self._schedule_feedback()
+
+    def _send_report(self, expedited: bool) -> None:
+        if self._last_packet is None:
+            return
+        info = self._last_packet.payload
+        echo_ts = getattr(info, "ts", self._last_packet.sent_at)
+        feedback = TfrcFeedback(
+            echo_ts=echo_ts,
+            echo_seq=self._last_packet.seq,
+            delay=self.sim.now - self._last_packet_recv_time,
+            p=self.loss_event_rate(),
+            recv_rate=self.receive_rate(),
+            expedited=expedited,
+        )
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=self._last_packet.seq,
+            size=self.FEEDBACK_SIZE,
+            ptype=PacketType.FEEDBACK,
+            sent_at=self.sim.now,
+            payload=feedback,
+        )
+        self.feedback_sent += 1
+        self._send_feedback(packet)
+
+    def stop(self) -> None:
+        """Cancel timers (end of simulation)."""
+        self._feedback_timer.cancel()

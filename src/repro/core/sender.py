@@ -1,0 +1,274 @@
+"""TFRC sender: equation-driven rate control.
+
+Responsibilities (paper sections 3.2 and 3.4):
+
+* measure the round-trip time from feedback echoes and smooth it with an
+  EWMA (weight ``rtt_ewma_weight``); derive ``t_RTO = 4 * R``;
+* on every feedback packet, evaluate the control equation and set the
+  allowed rate ("decrease to T" -- the option the paper adopts);
+* rate-based slow start while no loss has been reported: double the rate
+  each feedback interval, capped at twice the receive rate (section 3.4.1);
+* pace packets with the interpacket-spacing adjustment
+  ``t = (s / T) * sqrt(R0) / M`` where ``R0`` is the newest RTT sample and
+  ``M`` an EWMA of ``sqrt(RTT)`` (section 3.4) -- this is the mechanism that
+  damps the oscillations of Figure 3 into Figure 4, and it is togglable so
+  both figures can be reproduced;
+* halve the rate when no feedback arrives for a conservative number of RTTs
+  (no-feedback timer), with a floor of one packet per 64 seconds;
+* optionally apply the quiescent-sender extension (paper section 7 lists it
+  as planned work): when the application is idle the allowed rate is not
+  banked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.core.equations import tcp_response_rate
+from repro.core.receiver import TfrcFeedback
+from repro.net.packet import Packet, PacketType
+from repro.sim.engine import Simulator
+from repro.sim.process import Timer
+from repro.sim.trace import Tracer
+
+PacketSender = Callable[[Packet], None]
+
+#: Maximum back-off interval: never send slower than one packet per 64 s.
+T_MBI = 64.0
+
+
+class TfrcDataInfo:
+    """Payload piggybacked on TFRC data packets."""
+
+    __slots__ = ("ts", "rtt_estimate")
+
+    def __init__(self, ts: float, rtt_estimate: float) -> None:
+        self.ts = ts
+        self.rtt_estimate = rtt_estimate
+
+
+class TfrcSender:
+    """Sender half of the TFRC protocol."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        send_packet: PacketSender,
+        packet_size: int = 1000,
+        rtt_ewma_weight: float = 0.1,
+        interpacket_adjustment: bool = True,
+        cap_to_receive_rate: bool = True,
+        initial_rtt: float = 0.5,
+        tracer: Optional[Tracer] = None,
+        quiescence_aware: bool = False,
+        ecn: bool = False,
+        burst_size: int = 1,
+    ) -> None:
+        if not 0 < rtt_ewma_weight <= 1:
+            raise ValueError("rtt_ewma_weight must be in (0, 1]")
+        self.sim = sim
+        self.flow_id = flow_id
+        self._send_packet = send_packet
+        self.packet_size = packet_size
+        self.rtt_ewma_weight = rtt_ewma_weight
+        self.interpacket_adjustment = interpacket_adjustment
+        self.cap_to_receive_rate = cap_to_receive_rate
+        self.tracer = tracer
+        self.quiescence_aware = quiescence_aware
+        #: mark data packets ECN-capable (needs an ECN-enabled RED queue).
+        self.ecn = ecn
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        #: send `burst_size` packets every `burst_size` interpacket
+        #: intervals.  The paper notes that "two packets every two
+        #: inter-packet intervals" lets small-window TCP compete more fairly
+        #: (section 4.1), though it is not recommended as the default.
+        self.burst_size = burst_size
+
+        self.srtt: Optional[float] = None
+        self._latest_rtt_sample: Optional[float] = None
+        self._sqrt_rtt_ewma: Optional[float] = None  # M in section 3.4
+        self.initial_rtt = initial_rtt
+
+        #: allowed sending rate in bytes/second
+        self.rate = packet_size / initial_rtt
+        self.in_slow_start = True
+        self.last_feedback: Optional[TfrcFeedback] = None
+
+        self._seq = 0
+        self._send_timer = Timer(sim, self._send_next)
+        self._no_feedback_timer = Timer(sim, self._no_feedback_expired)
+        self._started = False
+        self._stopped = False
+        self._app_active = True
+
+        # Statistics.
+        self.packets_sent = 0
+        self.feedback_received = 0
+        self.rate_history = []  # (time, bytes_per_second) on every change
+
+    # ------------------------------------------------------------------ API
+
+    def start(self) -> None:
+        """Begin transmitting (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._record_rate()
+        self._send_next()
+        self._arm_no_feedback_timer()
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._send_timer.cancel()
+        self._no_feedback_timer.cancel()
+
+    def set_app_active(self, active: bool) -> None:
+        """Quiescent-sender support: pause/resume the application source.
+
+        With ``quiescence_aware`` enabled, resuming from an idle period
+        restarts from the (decayed) allowed rate rather than banking the
+        pre-idle rate, the rate-based analogue of TCP congestion-window
+        validation the paper cites as planned work.
+        """
+        was_active = self._app_active
+        self._app_active = active
+        if active and not was_active and self._started and not self._stopped:
+            if self.quiescence_aware:
+                # Restart at no more than two packets per RTT.
+                restart = 2.0 * self.packet_size / self._rtt_or_default()
+                self.rate = min(self.rate, max(restart, self._min_rate()))
+                self._record_rate()
+            self._send_timer.start(self._interpacket_interval())
+
+    @property
+    def rate_pkts_per_rtt(self) -> float:
+        """Allowed rate expressed in packets per RTT (analysis convenience)."""
+        return self.rate * self._rtt_or_default() / self.packet_size
+
+    # ------------------------------------------------------------- feedback
+
+    def on_feedback(self, packet: Packet) -> None:
+        """Process one feedback packet from the receiver."""
+        if self._stopped or packet.ptype is not PacketType.FEEDBACK:
+            return
+        feedback = packet.payload
+        if not isinstance(feedback, TfrcFeedback):
+            raise TypeError(f"feedback for {self.flow_id} lacks TfrcFeedback payload")
+        self.feedback_received += 1
+        self.last_feedback = feedback
+        self._sample_rtt(feedback)
+        self._update_rate(feedback)
+        self._arm_no_feedback_timer()
+
+    def _sample_rtt(self, feedback: TfrcFeedback) -> None:
+        rtt = self.sim.now - feedback.echo_ts - feedback.delay
+        if rtt <= 0:
+            return
+        self._latest_rtt_sample = rtt
+        if self.srtt is None:
+            self.srtt = rtt
+            self._sqrt_rtt_ewma = math.sqrt(rtt)
+        else:
+            self.srtt += self.rtt_ewma_weight * (rtt - self.srtt)
+            assert self._sqrt_rtt_ewma is not None
+            self._sqrt_rtt_ewma += self.rtt_ewma_weight * (
+                math.sqrt(rtt) - self._sqrt_rtt_ewma
+            )
+
+    def _rtt_or_default(self) -> float:
+        return self.srtt if self.srtt is not None else self.initial_rtt
+
+    def _min_rate(self) -> float:
+        return self.packet_size / T_MBI
+
+    def _update_rate(self, feedback: TfrcFeedback) -> None:
+        rtt = self._rtt_or_default()
+        if feedback.p <= 0:
+            # No loss yet: rate-based slow start, bounded by the receive rate
+            # so overshoot is no worse than TCP's (section 3.4.1).
+            doubled = 2.0 * self.rate
+            cap = 2.0 * feedback.recv_rate if feedback.recv_rate > 0 else doubled
+            self.rate = max(self._min_rate(), min(doubled, cap))
+            self.in_slow_start = True
+        else:
+            self.in_slow_start = False
+            t_eq = tcp_response_rate(
+                packet_size=self.packet_size,
+                rtt=rtt,
+                p=feedback.p,
+                t_rto=4.0 * rtt,
+            )
+            allowed = t_eq
+            if self.cap_to_receive_rate and feedback.recv_rate > 0:
+                allowed = min(allowed, 2.0 * feedback.recv_rate)
+            # "Decrease to T" / increase to T: the sender tracks the control
+            # equation directly; damping lives in the loss measurement.
+            self.rate = max(self._min_rate(), allowed)
+        self._record_rate()
+
+    # -------------------------------------------------------------- pacing
+
+    def _interpacket_interval(self) -> float:
+        base = self.packet_size / self.rate
+        if (
+            self.interpacket_adjustment
+            and self._latest_rtt_sample is not None
+            and self._sqrt_rtt_ewma is not None
+            and self._sqrt_rtt_ewma > 0
+        ):
+            # t = s/T * sqrt(R0)/M: instantaneous-delay sensitivity with
+            # less than proportional gain (section 3.4).
+            base *= math.sqrt(self._latest_rtt_sample) / self._sqrt_rtt_ewma
+        return base
+
+    def _send_next(self) -> None:
+        if self._stopped or not self._app_active:
+            return
+        for _ in range(self.burst_size):
+            packet = Packet(
+                flow_id=self.flow_id,
+                seq=self._seq,
+                size=self.packet_size,
+                ptype=PacketType.DATA,
+                sent_at=self.sim.now,
+                payload=TfrcDataInfo(
+                    ts=self.sim.now, rtt_estimate=self._rtt_or_default()
+                ),
+                ecn_capable=self.ecn,
+            )
+            self._seq += 1
+            self.packets_sent += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.sim.now, "send", self.flow_id, packet.size,
+                    meta={"seq": packet.seq},
+                )
+            self._send_packet(packet)
+        self._send_timer.start(self.burst_size * self._interpacket_interval())
+
+    # ---------------------------------------------------- no-feedback timer
+
+    def _no_feedback_interval(self) -> float:
+        rtt = self._rtt_or_default()
+        return max(4.0 * rtt, 2.0 * self.packet_size / self.rate)
+
+    def _arm_no_feedback_timer(self) -> None:
+        self._no_feedback_timer.start(self._no_feedback_interval())
+
+    def _no_feedback_expired(self) -> None:
+        if self._stopped:
+            return
+        # Halve the sending rate; repeated expiries walk it down to the
+        # one-packet-per-64s floor, i.e. the sender ultimately goes quiet.
+        self.rate = max(self._min_rate(), self.rate / 2.0)
+        self.in_slow_start = False
+        self._record_rate()
+        self._arm_no_feedback_timer()
+
+    def _record_rate(self) -> None:
+        self.rate_history.append((self.sim.now, self.rate))
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "rate", self.flow_id, self.rate)

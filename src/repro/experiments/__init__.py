@@ -1,0 +1,11 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Every ``figNN_*`` module exposes ``run(...) -> <FigureResult dataclass>``
+with keyword arguments controlling scale (duration, flow counts, seeds), so
+benchmarks can run reduced versions and EXPERIMENTS.md can record the full
+ones.  ``repro.experiments.runner`` is the CLI (``tfrc-experiment fig09``).
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

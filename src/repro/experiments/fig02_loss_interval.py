@@ -1,0 +1,94 @@
+"""Figure 2: the Average Loss Interval method under idealized periodic loss.
+
+The paper drives a TFRC flow over a link whose loss rate is 1% before t=6 s,
+10% from t=6 to t=9, and 0.5% afterwards, with *periodic* (deterministic)
+loss, and plots: the current loss interval s0 and the estimated average
+interval (top); the estimated loss event rate p and sqrt(p) (middle); and
+the transmission rate (bottom).
+
+Expected shape (paper section 3.3):
+
+* a completely stable estimate while the loss rate is constant,
+* a rapid rate reduction when the loss rate jumps to 10%,
+* a smooth rate increase (no step changes) when it falls to 0.5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.experiments.common import run_single_tfrc_on_lossy_path
+from repro.net.path import periodic_loss, scheduled_loss
+
+
+@dataclass
+class Fig02Result:
+    """Time series sampled once per probe interval."""
+
+    times: List[float] = field(default_factory=list)
+    current_interval: List[float] = field(default_factory=list)
+    estimated_interval: List[float] = field(default_factory=list)
+    loss_event_rate: List[float] = field(default_factory=list)
+    tx_rate_bytes: List[float] = field(default_factory=list)
+
+    def series_between(self, t0: float, t1: float, name: str) -> List[float]:
+        values = getattr(self, name)
+        return [v for t, v in zip(self.times, values) if t0 <= t <= t1]
+
+
+def run(
+    duration: float = 16.0,
+    rtt: float = 0.1,
+    phase1_period: int = 100,   # 1% periodic loss
+    phase2_period: int = 10,    # 10%
+    phase3_period: int = 200,   # 0.5%
+    t_phase2: float = 6.0,
+    t_phase3: float = 9.0,
+    probe_interval: float = 0.1,
+) -> Fig02Result:
+    """Run the Figure 2 scenario and sample the estimator state."""
+    model = scheduled_loss(
+        [
+            (0.0, periodic_loss(phase1_period)),
+            (t_phase2, periodic_loss(phase2_period)),
+            (t_phase3, periodic_loss(phase3_period)),
+        ]
+    )
+    result = Fig02Result()
+
+    def probe(sim, flow) -> None:
+        result.times.append(sim.now)
+        result.current_interval.append(flow.receiver.detector.open_interval_packets())
+        result.estimated_interval.append(flow.receiver.intervals.average_interval())
+        result.loss_event_rate.append(flow.receiver.loss_event_rate())
+        result.tx_rate_bytes.append(flow.sender.rate)
+
+    run_single_tfrc_on_lossy_path(
+        loss_model=model,
+        duration=duration,
+        rtt=rtt,
+        probe=probe,
+        probe_interval=probe_interval,
+    )
+    return result
+
+
+def summarize(result: Fig02Result, t_phase2: float = 6.0, t_phase3: float = 9.0) -> dict:
+    """Key scalars for EXPERIMENTS.md and the bench assertions."""
+    stable = result.series_between(4.0, t_phase2 - 0.5, "estimated_interval")
+    high = result.series_between(t_phase2 + 1.5, t_phase3, "loss_event_rate")
+    low_phase = result.series_between(t_phase3 + 4.0, result.times[-1], "loss_event_rate")
+    rate_high = result.series_between(t_phase2 + 1.5, t_phase3, "tx_rate_bytes")
+    rate_stable = result.series_between(4.0, t_phase2 - 0.5, "tx_rate_bytes")
+    return {
+        "stable_interval_mean": sum(stable) / len(stable) if stable else 0.0,
+        "stable_interval_spread": (max(stable) - min(stable)) if stable else 0.0,
+        "p_during_10pct": sum(high) / len(high) if high else 0.0,
+        "p_after_decrease": sum(low_phase) / len(low_phase) if low_phase else 0.0,
+        "rate_drop_factor": (
+            (sum(rate_stable) / len(rate_stable)) / (sum(rate_high) / len(rate_high))
+            if rate_stable and rate_high
+            else 0.0
+        ),
+    }

@@ -1,0 +1,112 @@
+"""Figure 6 (and 7): TCP throughput while co-existing with TFRC.
+
+n TCP and n TFRC flows share a bottleneck; the link rate is swept over
+1..64 Mb/s and the total flow count over 2..128, for DropTail and RED
+queueing.  The figure reports mean TCP throughput over the last 60 s of
+simulation, normalized so 1.0 is a fair share of the link; the queue size
+scales with the bandwidth.
+
+Figure 7 is the 15 Mb/s column with per-flow scatter, produced by
+:func:`run_cell` with ``per_flow=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import run_mixed_dumbbell, steady_state_window
+
+
+@dataclass
+class CellResult:
+    """One (link rate, flow count, queue type) grid cell."""
+
+    link_bps: float
+    total_flows: int
+    queue_type: str
+    mean_tcp_normalized: float
+    mean_tfrc_normalized: float
+    per_flow_tcp: List[float] = field(default_factory=list)
+    per_flow_tfrc: List[float] = field(default_factory=list)
+    utilization: float = 0.0
+    loss_rate: float = 0.0
+
+
+@dataclass
+class Fig06Result:
+    cells: List[CellResult] = field(default_factory=list)
+
+    def cell(self, link_bps: float, total_flows: int, queue_type: str) -> CellResult:
+        for cell in self.cells:
+            if (
+                cell.link_bps == link_bps
+                and cell.total_flows == total_flows
+                and cell.queue_type == queue_type
+            ):
+                return cell
+        raise KeyError((link_bps, total_flows, queue_type))
+
+
+def run_cell(
+    link_bps: float,
+    total_flows: int,
+    queue_type: str,
+    duration: float = 90.0,
+    seed: int = 0,
+    measure_fraction: float = 2.0 / 3.0,
+) -> CellResult:
+    """One simulation cell; ``total_flows`` is split evenly TCP/TFRC."""
+    if total_flows < 2 or total_flows % 2 != 0:
+        raise ValueError("total_flows must be an even number >= 2")
+    n = total_flows // 2
+    result = run_mixed_dumbbell(
+        duration=duration,
+        n_tfrc=n,
+        n_tcp=n,
+        bandwidth_bps=link_bps,
+        queue_type=queue_type,
+        seed=seed,
+    )
+    t0, t1 = steady_state_window(duration, measure_fraction)
+    tcp = [result.normalized_throughput(fid, t0, t1) for fid in result.tcp_ids]
+    tfrc = [result.normalized_throughput(fid, t0, t1) for fid in result.tfrc_ids]
+    fair = link_bps / total_flows
+    utilization = sum(v * fair for v in tcp + tfrc) / link_bps
+    return CellResult(
+        link_bps=link_bps,
+        total_flows=total_flows,
+        queue_type=queue_type,
+        mean_tcp_normalized=float(np.mean(tcp)),
+        mean_tfrc_normalized=float(np.mean(tfrc)),
+        per_flow_tcp=tcp,
+        per_flow_tfrc=tfrc,
+        utilization=utilization,
+        loss_rate=result.link_monitor.loss_rate(),
+    )
+
+
+def run(
+    link_rates_mbps: Sequence[float] = (1, 2, 4, 8, 16, 32, 64),
+    flow_counts: Sequence[int] = (2, 8, 32, 128),
+    queue_types: Sequence[str] = ("droptail", "red"),
+    duration: float = 90.0,
+    seed: int = 0,
+) -> Fig06Result:
+    """The full fairness grid.  Reduce the sweeps for quicker runs."""
+    result = Fig06Result()
+    for queue_type in queue_types:
+        for rate in link_rates_mbps:
+            for flows in flow_counts:
+                result.cells.append(
+                    run_cell(
+                        link_bps=rate * 1e6,
+                        total_flows=flows,
+                        queue_type=queue_type,
+                        duration=duration,
+                        seed=seed,
+                    )
+                )
+    return result

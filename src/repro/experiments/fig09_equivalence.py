@@ -1,0 +1,121 @@
+"""Figures 9 and 10: equivalence ratio and CoV vs measurement timescale.
+
+The paper's steady-state scenario (section 4.1.2): 16 SACK TCP and 16 TFRC
+flows on a 15 Mb/s, 50 ms RED bottleneck; flow RTTs uniform in (80, 120) ms;
+starts staggered over 10 s; 150 s duration measured over the last 100 s;
+results averaged over 14 runs with 90% confidence intervals.
+
+Figure 9 plots the mean equivalence ratio (TFRC/TFRC, TCP/TCP, TFRC/TCP
+pairs) against the timescale tau in {0.2, 0.5, 1, 2, 5, 10} s; Figure 10
+plots the mean CoV of TCP and of TFRC flows at the same timescales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cov import coefficient_of_variation
+from repro.analysis.equivalence import equivalence_ratio
+from repro.analysis.stats import mean_and_ci
+from repro.analysis.timeseries import arrivals_to_rate_series
+from repro.experiments.common import run_mixed_dumbbell
+
+PAPER_TIMESCALES = (0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+@dataclass
+class Fig09Result:
+    """Per-timescale means and 90% CIs over the replicated runs."""
+
+    timescales: List[float]
+    equivalence_tfrc_tfrc: Dict[float, Tuple[float, float]] = field(default_factory=dict)
+    equivalence_tcp_tcp: Dict[float, Tuple[float, float]] = field(default_factory=dict)
+    equivalence_tfrc_tcp: Dict[float, Tuple[float, float]] = field(default_factory=dict)
+    cov_tcp: Dict[float, Tuple[float, float]] = field(default_factory=dict)
+    cov_tfrc: Dict[float, Tuple[float, float]] = field(default_factory=dict)
+    loss_rates: List[float] = field(default_factory=list)
+
+
+def _pair_up(ids: Sequence[str]) -> List[Tuple[str, str]]:
+    """Adjacent disjoint pairs: (0,1), (2,3), ..."""
+    return [(ids[i], ids[i + 1]) for i in range(0, len(ids) - 1, 2)]
+
+
+def _cross_pairs(a: Sequence[str], b: Sequence[str]) -> List[Tuple[str, str]]:
+    """Disjoint cross-protocol pairs: (a0,b0), (a1,b1), ..."""
+    return list(zip(a, b))
+
+
+def run(
+    runs: int = 4,
+    duration: float = 90.0,
+    measure_seconds: float = 60.0,
+    n_each: int = 16,
+    link_bps: float = 15e6,
+    timescales: Sequence[float] = PAPER_TIMESCALES,
+    seed: int = 0,
+) -> Fig09Result:
+    """Run the replicated steady-state scenario.
+
+    Defaults are scaled down from the paper's 14 x 150 s to keep runtimes
+    sane; pass ``runs=14, duration=150, measure_seconds=100`` for the full
+    configuration.
+    """
+    timescales = [t for t in timescales if t < measure_seconds / 2]
+    samples: Dict[str, Dict[float, List[float]]] = {
+        key: {tau: [] for tau in timescales}
+        for key in ("ee", "cc", "ec", "cov_tcp", "cov_tfrc")
+    }
+    result = Fig09Result(timescales=list(timescales))
+    for run_index in range(runs):
+        sim_result = run_mixed_dumbbell(
+            duration=duration,
+            n_tfrc=n_each,
+            n_tcp=n_each,
+            bandwidth_bps=link_bps,
+            queue_type="red",
+            seed=seed + run_index,
+        )
+        result.loss_rates.append(sim_result.link_monitor.loss_rate())
+        t0, t1 = duration - measure_seconds, duration
+        for tau in timescales:
+            series = {
+                fid: arrivals_to_rate_series(
+                    sim_result.flow_monitor.arrivals.get(fid, []), t0, t1, tau
+                )
+                for fid in sim_result.tfrc_ids + sim_result.tcp_ids
+            }
+            tfrc_pairs = _pair_up(sim_result.tfrc_ids)
+            tcp_pairs = _pair_up(sim_result.tcp_ids)
+            cross = _cross_pairs(sim_result.tfrc_ids, sim_result.tcp_ids)
+            samples["ee"][tau].extend(
+                equivalence_ratio(series[a], series[b]) for a, b in tfrc_pairs
+            )
+            samples["cc"][tau].extend(
+                equivalence_ratio(series[a], series[b]) for a, b in tcp_pairs
+            )
+            samples["ec"][tau].extend(
+                equivalence_ratio(series[a], series[b]) for a, b in cross
+            )
+            samples["cov_tcp"][tau].extend(
+                coefficient_of_variation(series[fid]) for fid in sim_result.tcp_ids
+            )
+            samples["cov_tfrc"][tau].extend(
+                coefficient_of_variation(series[fid]) for fid in sim_result.tfrc_ids
+            )
+    for tau in timescales:
+        result.equivalence_tfrc_tfrc[tau] = mean_and_ci(
+            [v for v in samples["ee"][tau] if not np.isnan(v)]
+        )
+        result.equivalence_tcp_tcp[tau] = mean_and_ci(
+            [v for v in samples["cc"][tau] if not np.isnan(v)]
+        )
+        result.equivalence_tfrc_tcp[tau] = mean_and_ci(
+            [v for v in samples["ec"][tau] if not np.isnan(v)]
+        )
+        result.cov_tcp[tau] = mean_and_ci(samples["cov_tcp"][tau])
+        result.cov_tfrc[tau] = mean_and_ci(samples["cov_tfrc"][tau])
+    return result

@@ -1,0 +1,116 @@
+"""Figures 11-13: performance with ON/OFF background traffic.
+
+Section 4.1.3's scenario: 50-150 Pareto ON/OFF UDP sources (mean ON 1 s,
+mean OFF 2 s, 500 kb/s when ON) share the 15 Mb/s bottleneck with two
+monitored long-duration flows, one TCP and one TFRC.
+
+* Figure 11: mean bottleneck loss rate vs the number of sources.
+* Figure 12: TFRC/TCP equivalence ratio vs timescale, per source count.
+* Figure 13: CoV of the two monitored flows vs timescale, per source count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cov import coefficient_of_variation
+from repro.analysis.equivalence import equivalence_ratio
+from repro.analysis.timeseries import arrivals_to_rate_series
+from repro.core import TfrcFlow
+from repro.net import Dumbbell, DumbbellConfig
+from repro.net.monitor import FlowMonitor, LinkMonitor
+from repro.sim import Simulator
+from repro.sim.rng import RngRegistry
+from repro.tcp.flow import TcpFlow
+from repro.traffic.onoff import OnOffSource
+
+PAPER_SOURCE_COUNTS = (50, 60, 100, 130, 150)
+PAPER_TIMESCALES = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+
+@dataclass
+class OnOffRunResult:
+    """One source-count configuration."""
+
+    sources: int
+    loss_rate: float
+    equivalence_by_tau: Dict[float, float] = field(default_factory=dict)
+    cov_tcp_by_tau: Dict[float, float] = field(default_factory=dict)
+    cov_tfrc_by_tau: Dict[float, float] = field(default_factory=dict)
+    tcp_throughput_bps: float = 0.0
+    tfrc_throughput_bps: float = 0.0
+
+
+@dataclass
+class Fig11Result:
+    runs: List[OnOffRunResult] = field(default_factory=list)
+
+    def loss_curve(self) -> List[Tuple[int, float]]:
+        """(sources, loss rate) pairs -- the Figure 11 series."""
+        return [(r.sources, r.loss_rate) for r in self.runs]
+
+
+def run_one(
+    n_sources: int,
+    duration: float = 200.0,
+    warmup: float = 20.0,
+    timescales: Sequence[float] = PAPER_TIMESCALES,
+    link_bps: float = 15e6,
+    seed: int = 0,
+) -> OnOffRunResult:
+    """One configuration: n ON/OFF sources + 1 TCP + 1 TFRC monitored."""
+    registry = RngRegistry(seed)
+    sim = Simulator()
+    config = DumbbellConfig(bandwidth_bps=link_bps, queue_type="red")
+    dumbbell = Dumbbell(sim, config, queue_rng=registry.stream("red"))
+    flow_monitor = FlowMonitor()
+    link_monitor = LinkMonitor(sim, dumbbell.forward_link, sample_queue=False)
+    topo_rng = registry.stream("topology")
+
+    fwd, rev = dumbbell.attach_flow("tcp-mon", topo_rng.uniform(0.08, 0.12))
+    tcp = TcpFlow(sim, "tcp-mon", fwd, rev, variant="sack", on_data=flow_monitor.on_packet)
+    tcp.start(at=0.1)
+    fwd, rev = dumbbell.attach_flow("tfrc-mon", topo_rng.uniform(0.08, 0.12))
+    tfrc = TfrcFlow(sim, "tfrc-mon", fwd, rev, on_data=flow_monitor.on_packet)
+    tfrc.start(at=0.2)
+
+    onoff_rng = registry.stream("onoff")
+    for i in range(n_sources):
+        flow_id = f"onoff-{i}"
+        port, _ = dumbbell.attach_flow(flow_id, topo_rng.uniform(0.08, 0.12))
+        source = OnOffSource(sim, flow_id, port, rng=onoff_rng)
+        source.start(at=float(topo_rng.uniform(0.0, 5.0)))
+    sim.run(until=duration)
+
+    timescales = [t for t in timescales if t <= (duration - warmup) / 2]
+    result = OnOffRunResult(
+        sources=n_sources, loss_rate=link_monitor.loss_rate()
+    )
+    t0, t1 = warmup, duration
+    tcp_arrivals = flow_monitor.arrivals.get("tcp-mon", [])
+    tfrc_arrivals = flow_monitor.arrivals.get("tfrc-mon", [])
+    result.tcp_throughput_bps = flow_monitor.throughput_bps("tcp-mon", t0, t1)
+    result.tfrc_throughput_bps = flow_monitor.throughput_bps("tfrc-mon", t0, t1)
+    for tau in timescales:
+        series_tcp = arrivals_to_rate_series(tcp_arrivals, t0, t1, tau)
+        series_tfrc = arrivals_to_rate_series(tfrc_arrivals, t0, t1, tau)
+        result.equivalence_by_tau[tau] = equivalence_ratio(series_tfrc, series_tcp)
+        result.cov_tcp_by_tau[tau] = coefficient_of_variation(series_tcp)
+        result.cov_tfrc_by_tau[tau] = coefficient_of_variation(series_tfrc)
+    return result
+
+
+def run(
+    source_counts: Sequence[int] = PAPER_SOURCE_COUNTS,
+    duration: float = 200.0,
+    seed: int = 0,
+    **kwargs,
+) -> Fig11Result:
+    """Sweep the number of ON/OFF sources (paper: 5000 s; default reduced)."""
+    result = Fig11Result()
+    for count in source_counts:
+        result.runs.append(run_one(count, duration=duration, seed=seed, **kwargs))
+    return result

@@ -1,0 +1,108 @@
+"""Figures 20 and 21 / Appendix A.2: response to persistent congestion.
+
+Figure 20: a single TFRC flow sees a drop every 100th packet until t=10,
+then every 2nd packet (persistent congestion).  The paper shows the allowed
+sending rate taking **five** round-trip times to halve.
+
+Figure 21: the same scenario swept over initial drop rates 1/period for
+period in a range; the number of RTTs to halve the rate ranges from three
+to eight, with at least five at low drop rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.common import run_single_tfrc_on_lossy_path
+from repro.net.path import periodic_loss, scheduled_loss
+
+
+@dataclass
+class HalvingResult:
+    """Rate samples around the onset of persistent congestion."""
+
+    times: List[float] = field(default_factory=list)
+    rates: List[float] = field(default_factory=list)  # bytes/second
+    onset: float = 10.0
+    rtt: float = 0.1
+
+    def rtts_to_halve(self) -> Optional[float]:
+        """RTTs from onset until the allowed rate is half its pre-onset value.
+
+        Returns None if the rate never halves within the samples.
+        """
+        pre = [r for t, r in zip(self.times, self.rates) if self.onset - 1.0 <= t < self.onset]
+        if not pre:
+            return None
+        baseline = sum(pre) / len(pre)
+        for t, r in zip(self.times, self.rates):
+            if t >= self.onset and r <= baseline / 2.0:
+                return (t - self.onset) / self.rtt
+        return None
+
+
+def run(
+    initial_period: int = 100,
+    congested_period: int = 2,
+    onset: float = 10.0,
+    duration: float = 14.0,
+    rtt: float = 0.1,
+) -> HalvingResult:
+    """Run the Figure 20 scenario."""
+    model = scheduled_loss(
+        [
+            (0.0, periodic_loss(initial_period)),
+            (onset, periodic_loss(congested_period)),
+        ]
+    )
+    result = HalvingResult(onset=onset, rtt=rtt)
+
+    def probe(sim, flow) -> None:
+        result.times.append(sim.now)
+        result.rates.append(flow.sender.rate)
+
+    run_single_tfrc_on_lossy_path(
+        loss_model=model,
+        duration=duration,
+        rtt=rtt,
+        probe=probe,
+        probe_interval=rtt / 2.0,
+    )
+    return result
+
+
+@dataclass
+class Fig21Result:
+    """RTTs-to-halve as a function of the initial packet drop rate."""
+
+    drop_rates: List[float] = field(default_factory=list)
+    rtts_to_halve: List[Optional[float]] = field(default_factory=list)
+
+    def defined(self) -> List[Tuple[float, float]]:
+        return [
+            (p, n) for p, n in zip(self.drop_rates, self.rtts_to_halve) if n is not None
+        ]
+
+
+def run_sweep(
+    initial_periods: Sequence[int] = (200, 100, 50, 25, 10, 5, 4),
+    congested_period: int = 2,
+    onset: float = 10.0,
+    duration: float = 16.0,
+    rtt: float = 0.1,
+) -> Fig21Result:
+    """Figure 21: sweep the pre-congestion drop rate."""
+    result = Fig21Result()
+    for period in initial_periods:
+        halving = run(
+            initial_period=period,
+            congested_period=congested_period,
+            onset=onset,
+            duration=duration,
+            rtt=rtt,
+        )
+        result.drop_rates.append(1.0 / period)
+        result.rtts_to_halve.append(halving.rtts_to_halve())
+    return result

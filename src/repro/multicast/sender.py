@@ -1,0 +1,134 @@
+"""Multicast TFRC sender.
+
+Paces data to the whole group at the minimum of the receivers' reported
+allowed rates.  Differences from the unicast sender, per section 6:
+
+* feedback arrives in *rounds* (suppression timers), not per-RTT, so the
+  control loop runs on round boundaries;
+* slow start is more conservative: the rate doubles per round (not per RTT)
+  and stops at the first loss report from any receiver;
+* heard reports are echoed to the group so other receivers can suppress
+  (the sender's echo stands in for multicast visibility of reports).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.sender import T_MBI, TfrcDataInfo
+from repro.multicast.receiver import MulticastReport
+from repro.net.packet import Packet, PacketType
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, Timer
+
+
+class MulticastTfrcSender:
+    """Single-source multicast sender driven by suppressed receiver reports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        session_id: str,
+        send_packet: Callable[[Packet], None],
+        echo_report: Optional[Callable[[MulticastReport], None]] = None,
+        packet_size: int = 1000,
+        initial_rate: float = 2000.0,
+        round_duration: float = 1.0,
+        rtt_proxy: float = 0.3,
+    ) -> None:
+        self.sim = sim
+        self.session_id = session_id
+        self._send_packet = send_packet
+        self._echo_report = echo_report
+        self.packet_size = packet_size
+        self.rate = float(initial_rate)  # bytes/second
+        self.round_duration = round_duration
+        self.rtt_proxy = rtt_proxy
+        self.in_slow_start = True
+        self._seq = 0
+        self._send_timer = Timer(sim, self._send_next)
+        self._round_process = PeriodicProcess(
+            sim, self._round_boundary, lambda: self.round_duration
+        )
+        self._round_minimum: Optional[float] = None
+        self._started = False
+        self._stopped = False
+        self.packets_sent = 0
+        self.reports_received = 0
+        self.rate_history = []
+        self.on_round_start: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------ API
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.rate_history.append((self.sim.now, self.rate))
+        self._send_next()
+        self._round_process.start(initial_delay=self.round_duration)
+        if self.on_round_start is not None:
+            self.on_round_start()
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._send_timer.cancel()
+        self._round_process.stop()
+
+    # ------------------------------------------------------------- reports
+
+    def on_report(self, packet: Packet) -> None:
+        """A receiver's (suppression-winning) report reached the sender."""
+        if self._stopped or packet.ptype is not PacketType.FEEDBACK:
+            return
+        report = packet.payload
+        if not isinstance(report, MulticastReport):
+            return
+        self.reports_received += 1
+        if report.p > 0:
+            self.in_slow_start = False
+        if self._round_minimum is None or report.calculated_rate < self._round_minimum:
+            self._round_minimum = report.calculated_rate
+        if self._echo_report is not None:
+            self._echo_report(report)
+
+    def _round_boundary(self) -> None:
+        """End of a feedback round: adapt the rate, start the next round."""
+        if self._stopped:
+            return
+        if self._round_minimum is not None and not self.in_slow_start:
+            self.rate = max(self.packet_size / T_MBI, self._round_minimum)
+        elif self.in_slow_start:
+            if self._round_minimum is not None:
+                # Cap the doubling at the most constrained receiver's rate.
+                self.rate = max(
+                    self.packet_size / T_MBI,
+                    min(2.0 * self.rate, self._round_minimum),
+                )
+            else:
+                self.rate = 2.0 * self.rate
+        else:
+            # No feedback round: halve, like the unicast no-feedback timer.
+            self.rate = max(self.packet_size / T_MBI, self.rate / 2.0)
+        self.rate_history.append((self.sim.now, self.rate))
+        self._round_minimum = None
+        if self.on_round_start is not None:
+            self.on_round_start()
+
+    # -------------------------------------------------------------- pacing
+
+    def _send_next(self) -> None:
+        if self._stopped:
+            return
+        packet = Packet(
+            flow_id=self.session_id,
+            seq=self._seq,
+            size=self.packet_size,
+            ptype=PacketType.DATA,
+            sent_at=self.sim.now,
+            payload=TfrcDataInfo(ts=self.sim.now, rtt_estimate=self.rtt_proxy),
+        )
+        self._seq += 1
+        self.packets_sent += 1
+        self._send_packet(packet)
+        self._send_timer.start(self.packet_size / self.rate)

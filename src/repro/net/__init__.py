@@ -1,0 +1,52 @@
+"""Packet-level network model.
+
+This package replaces the ns-2 link/queue substrate the paper evaluates on:
+
+* :mod:`~repro.net.packet` -- packets with flow ids, sequence numbers, and
+  protocol payloads.
+* :mod:`~repro.net.queues` -- DropTail and RED queue disciplines.
+* :mod:`~repro.net.link` -- store-and-forward links that serialize packets at
+  a configured bandwidth and add propagation delay.
+* :mod:`~repro.net.path` -- unidirectional paths (chains of links) plus the
+  convenience :class:`~repro.net.path.LossyPath` used for Bernoulli /
+  deterministic loss models in the protocol-mechanics figures.
+* :mod:`~repro.net.monitor` -- per-link and per-flow counters.
+* :mod:`~repro.net.topology` -- the dumbbell builder used by the fairness
+  experiments.
+* :mod:`~repro.net.dummynet` -- a single configurable pipe mirroring how the
+  paper uses Rizzo's Dummynet for the oscillation experiments.
+* :mod:`~repro.net.lossmodels` -- correlated (Gilbert-Elliott), trace-replay
+  and policer loss models for emulating real-path loss behaviour.
+"""
+
+from repro.net.packet import Packet, PacketType
+from repro.net.queues import DropTailQueue, Queue, REDQueue
+from repro.net.link import Link
+from repro.net.path import LossyPath, Path
+from repro.net.monitor import FlowMonitor, LinkMonitor
+from repro.net.topology import Dumbbell, DumbbellConfig
+from repro.net.dummynet import DummynetPipe
+from repro.net.lossmodels import (
+    GilbertElliottLoss,
+    TraceLoss,
+    gilbert_elliott_from_rate,
+)
+
+__all__ = [
+    "Packet",
+    "PacketType",
+    "Queue",
+    "DropTailQueue",
+    "REDQueue",
+    "Link",
+    "Path",
+    "LossyPath",
+    "LinkMonitor",
+    "FlowMonitor",
+    "Dumbbell",
+    "DumbbellConfig",
+    "DummynetPipe",
+    "GilbertElliottLoss",
+    "TraceLoss",
+    "gilbert_elliott_from_rate",
+]

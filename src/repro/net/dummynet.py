@@ -1,0 +1,65 @@
+"""A Dummynet-style single pipe.
+
+The paper uses Rizzo's Dummynet to study TFRC oscillations against a single
+DropTail bottleneck with a configurable buffer (Figures 3 and 4).  This is
+the equivalent construct on our simulator: one forward link with a small
+DropTail queue, and a fixed-delay reverse channel for feedback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.link import Link, Receiver
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+
+
+class DummynetPipe:
+    """One bidirectional emulated pipe: rate-limit + delay + finite buffer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        delay: float,
+        buffer_packets: int,
+        name: str = "dummynet",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.delay = float(delay)
+        self.queue = DropTailQueue(buffer_packets, name=f"{name}-q")
+        self.forward_link = Link(
+            sim, bandwidth_bps, delay, self.queue, name=f"{name}-fwd"
+        )
+        self._reverse_receiver: Optional[Receiver] = None
+
+    def connect_forward(self, receiver: Receiver) -> None:
+        """Attach the receiver-side endpoint (gets data packets)."""
+        self.forward_link.connect(receiver)
+
+    def connect_reverse(self, receiver: Receiver) -> None:
+        """Attach the sender-side endpoint (gets feedback packets)."""
+        self._reverse_receiver = receiver
+
+    def send_forward(self, packet: Packet) -> bool:
+        """Sender -> receiver direction, through the rate limiter."""
+        return self.forward_link.send(packet)
+
+    def send_reverse(self, packet: Packet) -> bool:
+        """Receiver -> sender direction: fixed delay, no loss, no queueing.
+
+        Feedback packets are small and the paper's Dummynet experiments do
+        not congest the return path.
+        """
+        if self._reverse_receiver is None:
+            raise RuntimeError("reverse endpoint not connected")
+        self.sim.schedule_in(self.delay, self._reverse_receiver, packet)
+        return True
+
+    @property
+    def base_rtt(self) -> float:
+        """Round-trip propagation time, excluding queueing."""
+        return 2 * self.delay

@@ -1,0 +1,104 @@
+"""Store-and-forward links.
+
+A :class:`Link` models one unidirectional hop: packets are queued by the
+attached queue discipline, serialized at ``bandwidth_bps`` (transmission
+delay = size*8/bandwidth), then delivered ``propagation_delay`` seconds later
+to the downstream receiver.  Congestion arises naturally when offered load
+exceeds the service rate and the queue overflows or RED starts dropping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.packet import Packet
+from repro.net.queues import Queue, REDQueue
+from repro.sim.engine import Simulator
+
+Receiver = Callable[[Packet], None]
+
+
+class Link:
+    """One unidirectional link with an attached queue discipline."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        propagation_delay: float,
+        queue: Queue,
+        name: str = "link",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation_delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_delay = float(propagation_delay)
+        self.queue = queue
+        self.name = name
+        self._receiver: Optional[Receiver] = None
+        self._busy = False
+        self.bytes_forwarded = 0
+        self.packets_forwarded = 0
+        self._busy_accum = 0.0  # total seconds spent transmitting
+        self._tx_started_at: Optional[float] = None
+        self._sample_hooks: List[Callable[[float, int], None]] = []
+        if isinstance(queue, REDQueue):
+            queue.set_service_rate(self.bandwidth_bps)
+
+    def connect(self, receiver: Receiver) -> None:
+        """Attach the downstream consumer of delivered packets."""
+        self._receiver = receiver
+
+    def add_queue_sample_hook(self, hook: Callable[[float, int], None]) -> None:
+        """Register ``hook(now, queue_len)`` called on every enqueue/dequeue."""
+        self._sample_hooks.append(hook)
+
+    def transmission_delay(self, packet: Packet) -> float:
+        """Seconds to clock ``packet`` onto the wire at this link's rate."""
+        return packet.size * 8 / self.bandwidth_bps
+
+    @property
+    def utilization_seconds(self) -> float:
+        """Cumulative busy time; divide by elapsed time for utilization."""
+        return self._busy_accum
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link; returns False if the queue dropped it."""
+        if self._receiver is None:
+            raise RuntimeError(f"link {self.name} has no receiver connected")
+        accepted = self.queue.enqueue(packet, self.sim.now)
+        self._notify_queue_sample()
+        if accepted and not self._busy:
+            self._start_transmission()
+        return accepted
+
+    def _notify_queue_sample(self) -> None:
+        for hook in self._sample_hooks:
+            hook(self.sim.now, len(self.queue))
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue(self.sim.now)
+        self._notify_queue_sample()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx = self.transmission_delay(packet)
+        self._busy_accum += tx
+        self.sim.schedule_in(tx, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.bytes_forwarded += packet.size
+        self.packets_forwarded += 1
+        self.sim.schedule_in(self.propagation_delay, self._deliver, packet)
+        # Start on the next queued packet, if any.
+        self._busy = False
+        if not self.queue.is_empty:
+            self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        assert self._receiver is not None
+        self._receiver(packet)

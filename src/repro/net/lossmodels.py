@@ -1,0 +1,252 @@
+"""Stochastic loss models beyond Bernoulli.
+
+:mod:`repro.net.path` defines the ``LossModel`` callable contract --
+``(packet, now) -> dropped?`` -- and the simple Bernoulli / periodic /
+scheduled models the protocol-mechanics figures need.  This module adds the
+models required to emulate *real* paths (the paper's section 4.3 Internet
+experiments observed bursty, correlated loss that a Bernoulli process cannot
+produce):
+
+* :class:`GilbertElliottLoss` -- the classic two-state Markov loss model.
+  Real Internet paths drop packets in bursts (router buffer overflows hit
+  consecutive arrivals); Gilbert-Elliott captures this with a GOOD state
+  (low loss) and a BAD state (high loss) with geometric sojourn times.
+* :class:`TraceLoss` -- replays a recorded boolean drop sequence, so a loss
+  pattern captured from one experiment can be imposed verbatim on another
+  (used by the Figure 18 predictor methodology, which evaluates estimators
+  on *fixed* loss traces).
+* :func:`rate_limited_loss` -- wraps another model so it never exceeds a
+  drop budget over a sliding window, modelling policers.
+
+All models are deterministic given their ``numpy`` Generator, preserving the
+repository-wide reproducibility guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.net.path import LossModel
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert-Elliott) packet loss model.
+
+    The chain has a GOOD and a BAD state.  On each data packet the model
+    first makes a state transition, then drops the packet with the loss
+    probability of the current state.
+
+    Args:
+        p_good_to_bad: transition probability GOOD -> BAD per packet.
+        p_bad_to_good: transition probability BAD -> GOOD per packet.
+        loss_good: drop probability while in GOOD (often 0 or tiny).
+        loss_bad: drop probability while in BAD (often large, e.g. 0.5).
+        rng: numpy random generator (seeded by the caller).
+
+    The stationary probability of being in BAD is
+    ``p_good_to_bad / (p_good_to_bad + p_bad_to_good)``, giving a long-run
+    loss rate of ``pi_good * loss_good + pi_bad * loss_bad`` (exposed as
+    :attr:`stationary_loss_rate` and verified by property tests).
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float,
+        loss_bad: float,
+        rng: np.random.Generator,
+    ) -> None:
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if p_good_to_bad + p_bad_to_good == 0:
+            raise ValueError("the chain must be able to change state")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.rng = rng
+        self.in_bad_state = False
+        self.packets_seen = 0
+        self.packets_dropped = 0
+
+    @property
+    def stationary_bad_probability(self) -> float:
+        """Long-run fraction of time the chain spends in the BAD state."""
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run packet loss rate implied by the chain parameters."""
+        pi_bad = self.stationary_bad_probability
+        return (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Expected number of packets per BAD-state sojourn."""
+        return 1.0 / self.p_bad_to_good if self.p_bad_to_good > 0 else float("inf")
+
+    def __call__(self, packet: Packet, now: float) -> bool:
+        if not packet.is_data:
+            return False
+        self.packets_seen += 1
+        if self.in_bad_state:
+            if self.rng.random() < self.p_bad_to_good:
+                self.in_bad_state = False
+        else:
+            if self.rng.random() < self.p_good_to_bad:
+                self.in_bad_state = True
+        loss_p = self.loss_bad if self.in_bad_state else self.loss_good
+        dropped = bool(self.rng.random() < loss_p)
+        if dropped:
+            self.packets_dropped += 1
+        return dropped
+
+
+def gilbert_elliott_from_rate(
+    target_loss_rate: float,
+    mean_burst_length: float,
+    rng: np.random.Generator,
+    loss_bad: float = 1.0,
+) -> GilbertElliottLoss:
+    """Construct a Gilbert-Elliott model from observable quantities.
+
+    ``target_loss_rate`` is the desired long-run loss fraction and
+    ``mean_burst_length`` the average number of *consecutive* drops.  The
+    GOOD state is lossless; the BAD state drops with ``loss_bad``.
+
+    With ``loss_bad = 1`` every BAD packet is dropped, so the burst length
+    equals the BAD sojourn, giving ``p_bad_to_good = 1 / mean_burst_length``
+    and ``pi_bad = target_loss_rate``.
+    """
+    if not 0 < target_loss_rate < 1:
+        raise ValueError("target_loss_rate must be in (0, 1)")
+    if mean_burst_length < 1:
+        raise ValueError("mean_burst_length must be >= 1")
+    if not 0 < loss_bad <= 1:
+        raise ValueError("loss_bad must be in (0, 1]")
+    pi_bad = target_loss_rate / loss_bad
+    if pi_bad >= 1:
+        raise ValueError(
+            f"target_loss_rate {target_loss_rate} unreachable with "
+            f"loss_bad {loss_bad}"
+        )
+    p_bad_to_good = 1.0 / mean_burst_length
+    p_good_to_bad = p_bad_to_good * pi_bad / (1.0 - pi_bad)
+    return GilbertElliottLoss(
+        p_good_to_bad=p_good_to_bad,
+        p_bad_to_good=p_bad_to_good,
+        loss_good=0.0,
+        loss_bad=loss_bad,
+        rng=rng,
+    )
+
+
+class TraceLoss:
+    """Replay a recorded drop pattern.
+
+    ``trace`` is a sequence of booleans (True = drop) consumed one entry per
+    data packet.  When the trace is exhausted the model either repeats from
+    the start (``loop=True``, the default) or stops dropping.
+
+    Recording the decisions of another model is supported via
+    :meth:`recording`, which wraps a model so its verdicts are captured for
+    later replay -- the Figure 18 predictor study runs every estimator
+    configuration against identical loss traces this way.
+    """
+
+    def __init__(self, trace: Iterable[bool], loop: bool = True) -> None:
+        self.trace: List[bool] = [bool(x) for x in trace]
+        if not self.trace:
+            raise ValueError("trace must not be empty")
+        self.loop = loop
+        self._index = 0
+        self.packets_seen = 0
+        self.packets_dropped = 0
+
+    @classmethod
+    def recording(cls, inner: LossModel) -> Tuple[LossModel, List[bool]]:
+        """Wrap ``inner`` so its drop decisions are recorded.
+
+        Returns ``(wrapped_model, record)`` where ``record`` grows one entry
+        per data packet and can later seed ``TraceLoss(record)``.
+        """
+        record: List[bool] = []
+
+        def model(packet: Packet, now: float) -> bool:
+            dropped = inner(packet, now)
+            if packet.is_data:
+                record.append(bool(dropped))
+            return dropped
+
+        return model, record
+
+    def __call__(self, packet: Packet, now: float) -> bool:
+        if not packet.is_data:
+            return False
+        self.packets_seen += 1
+        if self._index >= len(self.trace):
+            if not self.loop:
+                return False
+            self._index = 0
+        dropped = self.trace[self._index]
+        self._index += 1
+        if dropped:
+            self.packets_dropped += 1
+        return dropped
+
+
+def rate_limited_loss(
+    inner: LossModel, max_drops: int, window: float
+) -> LossModel:
+    """Cap ``inner`` to at most ``max_drops`` drops per ``window`` seconds.
+
+    Useful for modelling token-bucket policers and for bounding synthetic
+    impairment so a test path cannot starve a flow outright.
+    """
+    if max_drops < 0:
+        raise ValueError("max_drops cannot be negative")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    recent: Deque[float] = deque()
+
+    def model(packet: Packet, now: float) -> bool:
+        while recent and recent[0] <= now - window:
+            recent.popleft()
+        if not inner(packet, now):
+            return False
+        if len(recent) >= max_drops:
+            return False  # budget exhausted: let the packet through
+        recent.append(now)
+        return True
+
+    return model
+
+
+def loss_run_lengths(trace: Sequence[bool]) -> List[int]:
+    """Lengths of consecutive-drop runs in a boolean drop trace.
+
+    Analysis helper for validating burstiness: for a Gilbert-Elliott model
+    with ``loss_bad = 1`` the mean run length estimates the BAD sojourn.
+    """
+    runs: List[int] = []
+    current = 0
+    for dropped in trace:
+        if dropped:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return runs

@@ -1,0 +1,125 @@
+"""Link and flow monitors.
+
+Monitors observe the network without influencing it.  They accumulate the
+raw material the analysis layer needs: per-flow byte arrival events (for the
+send-rate time series of paper Eq. 2), link drop/forward counts (loss rate,
+utilization), and queue-occupancy samples (Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+class LinkMonitor:
+    """Tracks a link's departures, drops, and queue occupancy over time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        tracer: Optional[Tracer] = None,
+        sample_queue: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.tracer = tracer
+        self.queue_samples: List[Tuple[float, int]] = []
+        self.drops: List[Tuple[float, str]] = []
+        self._wrap_queue()
+        if sample_queue:
+            link.add_queue_sample_hook(self._on_queue_sample)
+
+    def _wrap_queue(self) -> None:
+        previous_hook = self.link.queue.drop_hook
+
+        def on_drop(packet: Packet) -> None:
+            self.drops.append((self.sim.now, packet.flow_id))
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.sim.now, "drop", self.link.name, packet.size,
+                    meta={"flow": packet.flow_id, "seq": packet.seq},
+                )
+            if previous_hook is not None:
+                previous_hook(packet)
+
+        self.link.queue.drop_hook = on_drop
+
+    def _on_queue_sample(self, now: float, depth: int) -> None:
+        self.queue_samples.append((now, depth))
+        if self.tracer is not None:
+            self.tracer.record(now, "queue", self.link.name, depth)
+
+    @property
+    def drop_count(self) -> int:
+        return len(self.drops)
+
+    def loss_rate(self) -> float:
+        """Fraction of offered packets the queue dropped."""
+        offered = self.link.queue.enqueued + self.link.queue.dropped
+        if offered == 0:
+            return 0.0
+        return self.link.queue.dropped / offered
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``duration`` the link spent transmitting."""
+        if duration <= 0:
+            return 0.0
+        return min(1.0, self.link.utilization_seconds / duration)
+
+    def queue_series(
+        self, t_min: float = 0.0, t_max: Optional[float] = None
+    ) -> List[Tuple[float, int]]:
+        """Queue-depth samples within a window."""
+        return [
+            (t, d)
+            for t, d in self.queue_samples
+            if t >= t_min and (t_max is None or t <= t_max)
+        ]
+
+
+class FlowMonitor:
+    """Accumulates per-flow arrival events at a measurement point.
+
+    Endpoints call :meth:`on_packet` for every data packet they deliver to
+    the application.  ``arrivals[flow_id]`` is a time-ordered list of
+    ``(time, bytes)`` pairs, the exact input needed to compute the paper's
+    R_tau send-rate time series.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer
+        self.arrivals: Dict[str, List[Tuple[float, int]]] = {}
+        self.bytes_by_flow: Dict[str, int] = {}
+        self.packets_by_flow: Dict[str, int] = {}
+
+    def on_packet(self, now: float, packet: Packet) -> None:
+        """Record the delivery of ``packet`` at time ``now``."""
+        self.arrivals.setdefault(packet.flow_id, []).append((now, packet.size))
+        self.bytes_by_flow[packet.flow_id] = (
+            self.bytes_by_flow.get(packet.flow_id, 0) + packet.size
+        )
+        self.packets_by_flow[packet.flow_id] = (
+            self.packets_by_flow.get(packet.flow_id, 0) + 1
+        )
+        if self.tracer is not None:
+            self.tracer.record(now, "recv", packet.flow_id, packet.size)
+
+    def throughput_bps(self, flow_id: str, t_min: float, t_max: float) -> float:
+        """Average delivered rate for ``flow_id`` over [t_min, t_max]."""
+        if t_max <= t_min:
+            raise ValueError("need t_max > t_min")
+        total = sum(
+            size
+            for time, size in self.arrivals.get(flow_id, [])
+            if t_min <= time <= t_max
+        )
+        return total * 8 / (t_max - t_min)
+
+    def flows(self) -> List[str]:
+        return sorted(self.arrivals)

@@ -1,0 +1,86 @@
+"""Packets and packet metadata.
+
+A packet is a small mutable record.  Protocol-specific state (TCP flags,
+TFRC feedback fields) travels in the ``payload`` attribute so the network
+layer stays protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+
+class PacketType(enum.Enum):
+    """Coarse packet classification used by queues and monitors."""
+
+    DATA = "data"
+    ACK = "ack"
+    FEEDBACK = "feedback"
+
+
+_packet_uid = itertools.count()
+
+
+class Packet:
+    """A simulated packet.
+
+    Attributes:
+        flow_id: opaque string identifying the flow, used by monitors and by
+            receivers to demultiplex.
+        seq: per-flow sequence number (data packets) or cumulative ACK number
+            (ACK packets).
+        size: size in bytes, including headers.
+        ptype: coarse type (data / ack / feedback).
+        sent_at: timestamp the packet entered the network (set by the sender).
+        payload: protocol-specific object (e.g. a TFRC feedback report).
+        uid: globally unique id, handy for tracing retransmissions, which
+            reuse ``seq`` but get a fresh ``uid``.
+        ecn_capable: the flow understands ECN; RED (with ECN enabled) marks
+            this packet under early congestion instead of dropping it.
+        ecn_marked: set by a queue that signalled congestion on this packet.
+    """
+
+    __slots__ = (
+        "flow_id", "seq", "size", "ptype", "sent_at", "payload", "uid",
+        "ecn_capable", "ecn_marked",
+    )
+
+    def __init__(
+        self,
+        flow_id: str,
+        seq: int,
+        size: int,
+        ptype: PacketType = PacketType.DATA,
+        sent_at: float = 0.0,
+        payload: Optional[Any] = None,
+        ecn_capable: bool = False,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.flow_id = flow_id
+        self.seq = seq
+        self.size = size
+        self.ptype = ptype
+        self.sent_at = sent_at
+        self.payload = payload
+        self.uid = next(_packet_uid)
+        #: ECN (RFC 2481, cited by the paper as a future direction): a
+        #: capable packet is marked instead of early-dropped by RED.
+        self.ecn_capable = ecn_capable
+        self.ecn_marked = False
+
+    @property
+    def is_data(self) -> bool:
+        return self.ptype is PacketType.DATA
+
+    @property
+    def is_ack(self) -> bool:
+        return self.ptype is PacketType.ACK
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet {self.flow_id} seq={self.seq} {self.ptype.value} "
+            f"{self.size}B uid={self.uid}>"
+        )

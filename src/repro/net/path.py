@@ -1,0 +1,163 @@
+"""Unidirectional paths and controlled-loss paths.
+
+:class:`Path` chains links so a packet injected at the head is delivered to
+the sink after traversing every hop.  :class:`LossyPath` wraps an ideal path
+with a programmable loss model -- Bernoulli, deterministic every-Nth, or a
+time-varying schedule -- which the protocol-mechanics figures (2, 19, 20, 21)
+use to impose exact loss patterns, exactly as the paper's appendix
+simulations do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.link import Link, Receiver
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class Path:
+    """A chain of links delivering packets to a final receiver."""
+
+    def __init__(self, links: Sequence[Link], name: str = "path") -> None:
+        if not links:
+            raise ValueError("a path needs at least one link")
+        self.links: List[Link] = list(links)
+        self.name = name
+        for upstream, downstream in zip(self.links, self.links[1:]):
+            upstream.connect(downstream.send)
+
+    def connect(self, receiver: Receiver) -> None:
+        """Attach the endpoint that consumes packets leaving the last link."""
+        self.links[-1].connect(receiver)
+
+    def send(self, packet: Packet) -> bool:
+        """Inject ``packet`` at the head of the path."""
+        return self.links[0].send(packet)
+
+    @property
+    def min_bandwidth_bps(self) -> float:
+        return min(link.bandwidth_bps for link in self.links)
+
+    @property
+    def base_delay(self) -> float:
+        """Sum of propagation delays (excludes queueing/serialization)."""
+        return sum(link.propagation_delay for link in self.links)
+
+
+LossModel = Callable[[Packet, float], bool]
+"""A loss model maps ``(packet, now)`` to True when the packet is dropped."""
+
+
+def bernoulli_loss(probability: float, rng: np.random.Generator) -> LossModel:
+    """Drop each packet independently with ``probability``."""
+    if not 0 <= probability < 1:
+        raise ValueError("loss probability must be in [0, 1)")
+
+    def model(packet: Packet, now: float) -> bool:
+        return rng.random() < probability
+
+    return model
+
+
+def periodic_loss(period: int, offset: int = 0) -> LossModel:
+    """Drop every ``period``-th packet deterministically.
+
+    With ``period=100`` this reproduces the appendix scenario "every 100th
+    packet dropped".  Only data packets are counted.
+    """
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    counter = {"n": offset}
+
+    def model(packet: Packet, now: float) -> bool:
+        if not packet.is_data:
+            return False
+        counter["n"] += 1
+        return counter["n"] % period == 0
+
+    return model
+
+
+def scheduled_loss(schedule: Sequence[Tuple[float, LossModel]]) -> LossModel:
+    """Switch between loss models over time.
+
+    ``schedule`` is a list of ``(start_time, model)`` pairs in increasing
+    start-time order; the model whose start time most recently passed is
+    active.  Used for Figure 2's 1% -> 10% -> 0.5% pattern and Figure 20's
+    switch to persistent congestion at t=10.
+    """
+    if not schedule:
+        raise ValueError("schedule must not be empty")
+    times = [t for t, _ in schedule]
+    if any(b <= a for a, b in zip(times, times[1:])):
+        raise ValueError("schedule start times must be strictly increasing")
+
+    def model(packet: Packet, now: float) -> bool:
+        active = schedule[0][1]
+        for start, candidate in schedule:
+            if now >= start:
+                active = candidate
+            else:
+                break
+        return active(packet, now)
+
+    return model
+
+
+class LossyPath:
+    """An ideal fixed-delay pipe with an explicit loss model.
+
+    Unlike :class:`Path`, congestion loss never occurs here; losses come
+    only from the model.  This isolates the protocol mechanics under study
+    from queue dynamics -- the methodology of the paper's Figures 2 and
+    19-21.
+
+    When ``bandwidth_bps`` is set the pipe serializes packets one after
+    another (an unbounded FIFO): delivery cannot exceed the configured
+    rate, and overdriving the pipe shows up as growing delay -- which is
+    what makes the slow-start receive-rate cap observable on this path.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        loss_model: Optional[LossModel] = None,
+        bandwidth_bps: Optional[float] = None,
+        name: str = "lossy-path",
+    ) -> None:
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        self.sim = sim
+        self.delay = float(delay)
+        self.loss_model = loss_model
+        self.bandwidth_bps = bandwidth_bps
+        self.name = name
+        self._receiver: Optional[Receiver] = None
+        self._busy_until = 0.0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    def connect(self, receiver: Receiver) -> None:
+        self._receiver = receiver
+
+    def send(self, packet: Packet) -> bool:
+        if self._receiver is None:
+            raise RuntimeError(f"path {self.name} has no receiver connected")
+        self.packets_sent += 1
+        if self.loss_model is not None and self.loss_model(packet, self.sim.now):
+            self.packets_dropped += 1
+            return False
+        departure = self.sim.now
+        if self.bandwidth_bps:
+            serialization = packet.size * 8 / self.bandwidth_bps
+            departure = max(self.sim.now, self._busy_until) + serialization
+            self._busy_until = departure
+        self.sim.schedule(departure + self.delay, self._receiver, packet)
+        return True

@@ -1,0 +1,201 @@
+"""Queue disciplines: DropTail and RED.
+
+RED follows Floyd & Jacobson (1993) with the ``gentle`` extension the paper
+enables for its simulations (footnote to Figure 8 and section 4.1.2): between
+``maxthresh`` and ``2*maxthresh`` the drop probability rises linearly from
+``max_p`` to 1 instead of jumping to 1.
+
+Both disciplines count bytes and packets and expose conservation counters so
+tests can assert ``enqueued == dequeued + dropped + len(queue)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.net.packet import Packet
+
+
+class Queue:
+    """Abstract queue discipline.
+
+    Subclasses implement :meth:`enqueue`; dequeue order is FIFO for both
+    disciplines used in the paper.  ``drop_hook`` (if set) is called with each
+    dropped packet, which the monitors and the TFRC/TCP test fixtures use.
+    """
+
+    def __init__(self, capacity_packets: int, name: str = "queue") -> None:
+        if capacity_packets <= 0:
+            raise ValueError("queue capacity must be at least one packet")
+        self.capacity_packets = capacity_packets
+        self.name = name
+        self._queue: Deque[Packet] = deque()
+        self.bytes_queued = 0
+        # Conservation counters.
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.drop_hook: Optional[Callable[[Packet], None]] = None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Try to accept ``packet``; return True if queued, False if dropped."""
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the head-of-line packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.bytes_queued -= packet.size
+        self.dequeued += 1
+        return packet
+
+    def _accept(self, packet: Packet) -> bool:
+        self._queue.append(packet)
+        self.bytes_queued += packet.size
+        self.enqueued += 1
+        return True
+
+    def _drop(self, packet: Packet) -> bool:
+        self.dropped += 1
+        if self.drop_hook is not None:
+            self.drop_hook(packet)
+        return False
+
+
+class DropTailQueue(Queue):
+    """FIFO queue that drops arrivals when full (tail drop)."""
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if len(self._queue) >= self.capacity_packets:
+            return self._drop(packet)
+        return self._accept(packet)
+
+
+class REDQueue(Queue):
+    """Random Early Detection with the ``gentle`` option.
+
+    Parameters follow the paper's simulations: for the 15 Mb/s bottleneck it
+    uses ``min_thresh=10``, ``max_thresh=50``, total buffer 100 packets,
+    ``max_p=0.1``, gentle enabled (section 4.1.2 footnote; the Figure 8
+    footnote sets min_thresh 25 and max_thresh 5*min_thresh).
+
+    The average queue size is an EWMA over instantaneous occupancy, updated
+    on every arrival; while the link is idle the average decays as if
+    ``idle_departures`` small packets had been serviced, per the RED paper.
+    """
+
+    def __init__(
+        self,
+        capacity_packets: int,
+        min_thresh: float,
+        max_thresh: float,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        gentle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        mean_packet_size: int = 1000,
+        ecn: bool = False,
+        name: str = "red",
+    ) -> None:
+        super().__init__(capacity_packets, name=name)
+        if not 0 < min_thresh < max_thresh:
+            raise ValueError("need 0 < min_thresh < max_thresh")
+        if not 0 < max_p <= 1:
+            raise ValueError("max_p must be in (0, 1]")
+        if not 0 < weight <= 1:
+            raise ValueError("EWMA weight must be in (0, 1]")
+        self.min_thresh = float(min_thresh)
+        self.max_thresh = float(max_thresh)
+        self.max_p = float(max_p)
+        self.weight = float(weight)
+        self.gentle = gentle
+        self.mean_packet_size = mean_packet_size
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.avg = 0.0
+        self._count_since_drop = -1  # -1: no packet since last drop decision
+        self._idle_since: Optional[float] = None
+        self._service_rate_bps: Optional[float] = None  # set by the owning link
+        #: with ECN enabled, early congestion marks capable packets instead
+        #: of dropping them (RFC 2481; forced drops still drop).
+        self.ecn = ecn
+        self.early_drops = 0
+        self.forced_drops = 0
+        self.ecn_marks = 0
+
+    def set_service_rate(self, bits_per_second: float) -> None:
+        """Tell RED the link speed so the idle-decay estimate is sensible."""
+        self._service_rate_bps = bits_per_second
+
+    def _update_average(self, now: float) -> None:
+        if self._queue:
+            self.avg += self.weight * (len(self._queue) - self.avg)
+            return
+        # Queue is idle: decay avg as if m packets had departed while idle.
+        if self._idle_since is None:
+            self._idle_since = now
+        if self._service_rate_bps:
+            idle = max(0.0, now - self._idle_since)
+            packet_time = (self.mean_packet_size * 8) / self._service_rate_bps
+            if packet_time > 0:
+                self.avg *= (1.0 - self.weight) ** (idle / packet_time)
+        # Re-anchor so the next arrival decays only the incremental idle
+        # time; if this arrival is accepted the queue becomes busy and a
+        # later dequeue-to-empty re-establishes the idle start.
+        self._idle_since = now
+
+    def _drop_probability(self) -> float:
+        """Instantaneous mark probability p_b from the average queue size."""
+        if self.avg < self.min_thresh:
+            return 0.0
+        if self.avg < self.max_thresh:
+            frac = (self.avg - self.min_thresh) / (self.max_thresh - self.min_thresh)
+            return frac * self.max_p
+        if self.gentle and self.avg < 2 * self.max_thresh:
+            frac = (self.avg - self.max_thresh) / self.max_thresh
+            return self.max_p + frac * (1.0 - self.max_p)
+        return 1.0
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        self._update_average(now)
+        if len(self._queue) >= self.capacity_packets:
+            self.forced_drops += 1
+            self._count_since_drop = -1
+            return self._drop(packet)
+        p_b = self._drop_probability()
+        if p_b >= 1.0:
+            self.forced_drops += 1
+            self._count_since_drop = -1
+            return self._drop(packet)
+        if p_b > 0.0:
+            self._count_since_drop += 1
+            # Uniformize inter-drop gaps: p_a = p_b / (1 - count * p_b).
+            denom = 1.0 - self._count_since_drop * p_b
+            p_a = 1.0 if denom <= 0 else min(1.0, p_b / denom)
+            if self._rng.random() < p_a:
+                self._count_since_drop = 0
+                if self.ecn and packet.ecn_capable:
+                    packet.ecn_marked = True
+                    self.ecn_marks += 1
+                    return self._accept(packet)
+                self.early_drops += 1
+                return self._drop(packet)
+        else:
+            self._count_since_drop = -1
+        return self._accept(packet)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        packet = super().dequeue(now)
+        if packet is not None and not self._queue:
+            self._idle_since = now
+        return packet

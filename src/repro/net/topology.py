@@ -1,0 +1,217 @@
+"""Dumbbell topology builder.
+
+The paper's fairness and smoothness experiments (Figures 6-14) all use the
+"well-known single bottleneck (dumbbell) scenario" with provisioned access
+links, so that drops occur only at the bottleneck.  This module builds that
+topology:
+
+* one shared forward bottleneck link (configurable bandwidth, delay, queue
+  discipline),
+* one shared reverse link for ACK/feedback traffic (normally uncongested,
+  but usable for reverse-path traffic as in Figure 14),
+* per-flow access segments implemented as pure delays (access links are
+  provisioned by construction, matching the paper's setup), sized so each
+  flow hits its target base RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.net.link import Link, Receiver
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue, Queue, REDQueue
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class DumbbellConfig:
+    """Parameters of the dumbbell bottleneck.
+
+    Defaults mirror the paper's steady-state scenario (section 4.1.2
+    footnote): 15 Mb/s bottleneck, 50 ms one-way bottleneck delay,
+    1000-byte packets, RED with gentle, buffer 100 packets, minthresh 10,
+    maxthresh 50.
+    """
+
+    bandwidth_bps: float = 15e6
+    delay: float = 0.050
+    queue_type: str = "red"  # "red" or "droptail"
+    buffer_packets: int = 100
+    red_min_thresh: float = 10
+    red_max_thresh: float = 50
+    red_max_p: float = 0.1
+    red_gentle: bool = True
+    red_weight: float = 0.002
+    mean_packet_size: int = 1000
+    reverse_bandwidth_bps: Optional[float] = None  # defaults to forward bw
+    reverse_buffer_packets: int = 1000
+    queue_seed: int = 7
+    #: per-packet access-segment processing jitter (anti-phase-effect);
+    #: ~2 bottleneck packet times by default for the paper's 15 Mb/s link.
+    access_jitter: float = 0.001
+
+    def build_queue(self, rng: Optional[np.random.Generator] = None) -> Queue:
+        """Instantiate the configured forward queue discipline."""
+        if self.queue_type == "droptail":
+            return DropTailQueue(self.buffer_packets, name="bottleneck-q")
+        if self.queue_type == "red":
+            return REDQueue(
+                self.buffer_packets,
+                min_thresh=self.red_min_thresh,
+                max_thresh=self.red_max_thresh,
+                max_p=self.red_max_p,
+                weight=self.red_weight,
+                gentle=self.red_gentle,
+                rng=rng if rng is not None else np.random.default_rng(self.queue_seed),
+                mean_packet_size=self.mean_packet_size,
+                name="bottleneck-red",
+            )
+        raise ValueError(f"unknown queue type {self.queue_type!r}")
+
+
+class FlowPort:
+    """One direction of a flow's attachment to the dumbbell.
+
+    ``send`` injects a packet (after the flow's ingress access delay);
+    packets addressed to this flow that exit the shared link are delivered to
+    the callback registered with ``connect`` after the egress access delay.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        shared_link: Link,
+        ingress_delay: float,
+        egress_delay: float,
+        jitter_rng: Optional[np.random.Generator] = None,
+        jitter_max: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._link = shared_link
+        self.ingress_delay = ingress_delay
+        self.egress_delay = egress_delay
+        self.jitter_rng = jitter_rng
+        self.jitter_max = jitter_max
+        self._last_ingress_arrival = 0.0
+        self._receiver: Optional[Receiver] = None
+
+    def connect(self, receiver: Receiver) -> None:
+        self._receiver = receiver
+
+    def send(self, packet: Packet) -> bool:
+        jittered = self.jitter_rng is not None and self.jitter_max > 0
+        delay = self.ingress_delay
+        if jittered:
+            # Small random processing jitter.  Deterministic simulators
+            # otherwise exhibit phase effects: window-based (ACK-clocked)
+            # arrivals synchronize with bottleneck departures while paced
+            # arrivals do not, skewing DropTail drop probabilities.  The
+            # jitter is clamped so packets of one flow never reorder.
+            delay += float(self.jitter_rng.uniform(0.0, self.jitter_max))
+        if not jittered and delay <= 0:
+            return self._link.send(packet)
+        # Always go through the scheduler when delayed/jittered: clamping to
+        # the previous arrival plus heap FIFO keeps per-flow order even when
+        # a later packet draws a smaller jitter.
+        arrival = max(self._sim.now + delay, self._last_ingress_arrival)
+        self._last_ingress_arrival = arrival
+        # Schedule at the *absolute* arrival time: recomputing now + (arrival
+        # - now) loses bits and can invert the order of two equal arrivals.
+        self._sim.schedule(arrival, self._link.send, packet)
+        return True  # access links never drop; loss is at the bottleneck
+
+    def deliver(self, packet: Packet) -> None:
+        if self._receiver is None:
+            return  # flow detached; drop silently
+        if self.egress_delay > 0:
+            self._sim.schedule_in(self.egress_delay, self._receiver, packet)
+        else:
+            self._receiver(packet)
+
+
+class Dumbbell:
+    """Shared-bottleneck topology with per-flow base RTTs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[DumbbellConfig] = None,
+        queue_rng: Optional[np.random.Generator] = None,
+        jitter_rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config if config is not None else DumbbellConfig()
+        self._jitter_rng = (
+            jitter_rng if jitter_rng is not None else np.random.default_rng(11)
+        )
+        cfg = self.config
+        self.forward_link = Link(
+            sim,
+            cfg.bandwidth_bps,
+            cfg.delay,
+            cfg.build_queue(queue_rng),
+            name="bottleneck-fwd",
+        )
+        reverse_bw = (
+            cfg.reverse_bandwidth_bps
+            if cfg.reverse_bandwidth_bps is not None
+            else cfg.bandwidth_bps
+        )
+        self.reverse_link = Link(
+            sim,
+            reverse_bw,
+            cfg.delay,
+            DropTailQueue(cfg.reverse_buffer_packets, name="bottleneck-rev-q"),
+            name="bottleneck-rev",
+        )
+        self._forward_ports: Dict[str, FlowPort] = {}
+        self._reverse_ports: Dict[str, FlowPort] = {}
+        self.forward_link.connect(self._route_forward)
+        self.reverse_link.connect(self._route_reverse)
+
+    def _route_forward(self, packet: Packet) -> None:
+        port = self._forward_ports.get(packet.flow_id)
+        if port is not None:
+            port.deliver(packet)
+
+    def _route_reverse(self, packet: Packet) -> None:
+        port = self._reverse_ports.get(packet.flow_id)
+        if port is not None:
+            port.deliver(packet)
+
+    def attach_flow(self, flow_id: str, base_rtt: float) -> Tuple[FlowPort, FlowPort]:
+        """Attach a flow with the given base (no-queueing) round-trip time.
+
+        Returns ``(forward_port, reverse_port)``.  The residual RTT beyond
+        the two bottleneck traversals is split evenly over the four access
+        segments.  ``base_rtt`` smaller than twice the bottleneck delay is
+        clipped (segments cannot have negative delay).
+        """
+        if flow_id in self._forward_ports:
+            raise ValueError(f"flow {flow_id!r} already attached")
+        residual = max(0.0, base_rtt - 2 * self.config.delay)
+        segment = residual / 4.0
+        jitter = self.config.access_jitter
+        fwd = FlowPort(
+            self.sim, self.forward_link, segment, segment,
+            jitter_rng=self._jitter_rng, jitter_max=jitter,
+        )
+        rev = FlowPort(
+            self.sim, self.reverse_link, segment, segment,
+            jitter_rng=self._jitter_rng, jitter_max=jitter,
+        )
+        self._forward_ports[flow_id] = fwd
+        self._reverse_ports[flow_id] = rev
+        return fwd, rev
+
+    def detach_flow(self, flow_id: str) -> None:
+        self._forward_ports.pop(flow_id, None)
+        self._reverse_ports.pop(flow_id, None)
+
+    @property
+    def flow_count(self) -> int:
+        return len(self._forward_ports)

@@ -1,0 +1,40 @@
+"""Real-time (wall-clock, UDP-socket) TFRC endpoints.
+
+The paper evaluated two artifacts: the ns-2 simulation code and a
+real-world userspace implementation run over the Internet and Dummynet
+(section 4.3).  :mod:`repro` mirrors that split:
+
+* the simulator stack (:mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.core`)
+  reproduces the ns-2 results;
+* this package is the real-world implementation: the *same*
+  :class:`~repro.core.sender.TfrcSender` and
+  :class:`~repro.core.receiver.TfrcReceiver` protocol machines, hosted on a
+  wall-clock scheduler (:class:`~repro.rt.scheduler.RealtimeScheduler`)
+  instead of the discrete-event engine, exchanging datagrams encoded by
+  :mod:`repro.wire` over real UDP sockets.
+
+Because the protocol machines are shared, any behaviour validated in
+simulation is the behaviour deployed on the wire -- the property the
+paper's two-artifact methodology was after.
+
+:class:`~repro.rt.proxy.UdpImpairmentProxy` substitutes for Dummynet: a
+local UDP relay imposing configurable loss and delay, so the Figure 3/4
+style experiments can run against the real stack without a kernel shim.
+"""
+
+from repro.rt.scheduler import RealtimeScheduler
+from repro.rt.proxy import UdpImpairmentProxy, drop_every_nth_data, drop_bernoulli
+from repro.rt.udp import UdpTfrcReceiver, UdpTfrcReceiverMux, UdpTfrcSender
+from repro.rt.session import LoopbackResult, run_loopback_session
+
+__all__ = [
+    "RealtimeScheduler",
+    "UdpTfrcSender",
+    "UdpTfrcReceiver",
+    "UdpTfrcReceiverMux",
+    "UdpImpairmentProxy",
+    "drop_every_nth_data",
+    "drop_bernoulli",
+    "run_loopback_session",
+    "LoopbackResult",
+]

@@ -1,0 +1,200 @@
+"""Command-line endpoints for the real TFRC stack.
+
+Run each piece in its own terminal (or machine -- the stack speaks real
+UDP) to reproduce the paper's userspace-implementation experiments:
+
+    # terminal 1: the receiver
+    python -m repro.rt.cli recv --port 9000
+
+    # terminal 2: an impairment proxy (optional; the Dummynet substitute)
+    python -m repro.rt.cli proxy --port 9001 --server 127.0.0.1:9000 \
+        --delay-ms 20 --loss-period 25
+
+    # terminal 3: the sender, through the proxy
+    python -m repro.rt.cli send --peer 127.0.0.1:9001 --duration 10
+
+Each endpoint prints one status line per second.  ``send`` exits after
+``--duration`` seconds; ``recv`` and ``proxy`` run until interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Tuple
+
+from repro.rt.proxy import UdpImpairmentProxy, drop_every_nth_data
+from repro.rt.scheduler import RealtimeScheduler
+from repro.rt.udp import UdpTfrcReceiverMux, UdpTfrcSender
+
+Address = Tuple[str, int]
+
+
+def parse_endpoint(text: str) -> Address:
+    """Parse ``host:port`` (or bare ``port`` meaning 127.0.0.1)."""
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad port in {text!r}")
+    if not 0 < port < 65536:
+        raise argparse.ArgumentTypeError(f"port {port} out of range")
+    return host, port
+
+
+def _every_second(scheduler: RealtimeScheduler, callback) -> None:
+    """Schedule ``callback`` once per second, forever."""
+
+    def tick() -> None:
+        callback()
+        scheduler.schedule_in(1.0, tick)
+
+    scheduler.schedule_in(1.0, tick)
+
+
+def run_send(args) -> int:
+    scheduler = RealtimeScheduler()
+    sender = UdpTfrcSender(
+        scheduler,
+        peer=args.peer,
+        flow_id=args.flow_id,
+        packet_size=args.packet_size,
+        initial_rtt=args.initial_rtt,
+    )
+    last = {"sent": 0}
+
+    def report() -> None:
+        sent = sender.datagrams_sent
+        srtt = sender.core.srtt
+        if srtt is None:
+            line = f"[send] t={scheduler.now:5.1f}s sent={sent} (no feedback yet)"
+        else:
+            feedback = sender.core.last_feedback
+            p = feedback.p if feedback is not None else 0.0
+            line = (
+                f"[send] t={scheduler.now:5.1f}s sent={sent} "
+                f"(+{sent - last['sent']}/s) "
+                f"rate={sender.core.rate / 1e3:.1f}KB/s "
+                f"p={p:.4f} srtt={srtt * 1e3:.1f}ms"
+            )
+        print(line, flush=True)
+        last["sent"] = sent
+
+    _every_second(scheduler, report)
+    sender.start()
+    try:
+        scheduler.run(until=args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        sender.close()
+    print(f"[send] done: {sender.datagrams_sent} data datagrams, "
+          f"{sender.feedback_datagrams} feedback reports", flush=True)
+    return 0
+
+
+def run_recv(args) -> int:
+    scheduler = RealtimeScheduler()
+    mux = UdpTfrcReceiverMux(scheduler, bind=("0.0.0.0", args.port))
+    print(f"[recv] listening on UDP port {args.port}", flush=True)
+
+    def report() -> None:
+        for flow_id, receiver in sorted(mux.flows.items()):
+            print(
+                f"[recv] t={scheduler.now:5.1f}s flow={flow_id} "
+                f"received={receiver.datagrams_received} "
+                f"p={receiver.core.loss_event_rate():.4f} "
+                f"rate={receiver.core.receive_rate() / 1e3:.1f}KB/s",
+                flush=True,
+            )
+
+    _every_second(scheduler, report)
+    try:
+        scheduler.run(until=args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        mux.close()
+    return 0
+
+
+def run_proxy(args) -> int:
+    scheduler = RealtimeScheduler()
+    loss = drop_every_nth_data(args.loss_period) if args.loss_period else None
+    proxy = UdpImpairmentProxy(
+        scheduler,
+        server=args.server,
+        delay=args.delay_ms / 1e3,
+        loss_model=loss,
+        bandwidth_bps=args.bandwidth_kbps * 1e3 if args.bandwidth_kbps else None,
+        bind=("0.0.0.0", args.port),
+    )
+    print(f"[proxy] UDP {args.port} -> {args.server[0]}:{args.server[1]} "
+          f"delay={args.delay_ms}ms "
+          f"loss={'1/' + str(args.loss_period) if args.loss_period else 'none'}",
+          flush=True)
+
+    def report() -> None:
+        print(
+            f"[proxy] t={scheduler.now:5.1f}s fwd={proxy.forwarded_to_server} "
+            f"rev={proxy.forwarded_to_client} dropped={proxy.dropped} "
+            f"queue_drops={proxy.queue_drops}",
+            flush=True,
+        )
+
+    _every_second(scheduler, report)
+    try:
+        scheduler.run(until=args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.rt.cli",
+        description="Real-stack TFRC endpoints over UDP.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    send = sub.add_parser("send", help="TFRC sender")
+    send.add_argument("--peer", type=parse_endpoint, required=True,
+                      help="receiver or proxy address, host:port")
+    send.add_argument("--flow-id", type=int, default=1)
+    send.add_argument("--packet-size", type=int, default=500)
+    send.add_argument("--initial-rtt", type=float, default=0.1)
+    send.add_argument("--duration", type=float, default=10.0,
+                      help="seconds to run (default 10)")
+    send.set_defaults(run=run_send)
+
+    recv = sub.add_parser("recv", help="TFRC receiver (multi-flow)")
+    recv.add_argument("--port", type=int, required=True)
+    recv.add_argument("--duration", type=float, default=None,
+                      help="seconds to run (default: until Ctrl-C)")
+    recv.set_defaults(run=run_recv)
+
+    proxy = sub.add_parser("proxy", help="impairment proxy (Dummynet substitute)")
+    proxy.add_argument("--port", type=int, required=True)
+    proxy.add_argument("--server", type=parse_endpoint, required=True)
+    proxy.add_argument("--delay-ms", type=float, default=0.0)
+    proxy.add_argument("--loss-period", type=int, default=None,
+                       help="drop every Nth data datagram")
+    proxy.add_argument("--bandwidth-kbps", type=float, default=None,
+                       help="serialize through a pipe at this rate")
+    proxy.add_argument("--duration", type=float, default=None,
+                       help="seconds to run (default: until Ctrl-C)")
+    proxy.set_defaults(run=run_proxy)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

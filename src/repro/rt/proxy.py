@@ -1,0 +1,224 @@
+"""UDP impairment proxy: the real-stack substitute for Dummynet.
+
+The paper used Rizzo's Dummynet (a FreeBSD kernel shim) to test the
+real-world TFRC implementation under controlled loss and delay.  Nothing
+kernel-level is available here, so this module provides the userspace
+equivalent: a UDP relay that sits between the TFRC sender and receiver and
+imposes
+
+* one-way propagation delay in each direction,
+* a programmable drop decision per datagram (with helpers for
+  every-Nth-data and Bernoulli drops), and
+* an optional bandwidth cap with a bounded FIFO queue, which adds
+  serialization/queueing delay and tail-drops on overflow -- the same
+  behaviour as a Dummynet "pipe".
+
+Topology: senders address the proxy; the proxy forwards to the configured
+server (receiver) address; datagrams arriving *from* the server are
+relayed back to the client the flow belongs to.  Clients are identified
+by the TFRC flow id in the headers, so several concurrent flows (e.g. a
+real-stack fairness experiment) can share one proxy; non-TFRC datagrams
+fall back to the most recent client.  The receiver never needs to know
+the proxy exists because it replies to the datagram source address.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.rt.scheduler import RealtimeScheduler
+from repro.wire.headers import WireFormatError, decode_packet
+
+Address = Tuple[str, int]
+
+#: Drop decision over a raw datagram: ``(data, scheduler_now) -> dropped?``
+DatagramLossModel = Callable[[bytes, float], bool]
+
+_RECV_CHUNK = 65536
+
+
+def _is_data_datagram(data: bytes) -> bool:
+    """True when ``data`` parses as a TFRC data packet (else leave it be)."""
+    try:
+        return decode_packet(data).__class__.__name__ == "DataPacket"
+    except WireFormatError:
+        return False
+
+
+def drop_every_nth_data(n: int) -> DatagramLossModel:
+    """Drop every ``n``-th TFRC *data* datagram (feedback always passes).
+
+    The real-stack analogue of :func:`repro.net.path.periodic_loss`; used
+    to impose the appendix-style exact loss patterns on the UDP stack.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    counter = {"seen": 0}
+
+    def model(data: bytes, now: float) -> bool:
+        if not _is_data_datagram(data):
+            return False
+        counter["seen"] += 1
+        return counter["seen"] % n == 0
+
+    return model
+
+
+def drop_bernoulli(probability: float, rng) -> DatagramLossModel:
+    """Drop each data datagram independently with ``probability``.
+
+    ``rng`` is a ``numpy`` Generator (or anything with ``.random()``).
+    """
+    if not 0 <= probability < 1:
+        raise ValueError("probability must be in [0, 1)")
+
+    def model(data: bytes, now: float) -> bool:
+        return _is_data_datagram(data) and rng.random() < probability
+
+    return model
+
+
+class UdpImpairmentProxy:
+    """Bidirectional UDP relay with loss, delay, and an optional rate cap.
+
+    Args:
+        scheduler: event loop shared with (or separate from) the endpoints.
+        server: address datagrams from the client side are forwarded to.
+        delay: one-way added delay in seconds, applied in both directions
+            (so the RTT grows by ``2 * delay``).
+        loss_model: applied to client->server datagrams (the data
+            direction).
+        reverse_loss_model: applied to server->client datagrams (the
+            feedback direction); defaults to None (reliable reverse path,
+            matching how the paper's Dummynet experiments were
+            configured), but real networks drop feedback too and the
+            sender's no-feedback timer exists for exactly that.
+        bandwidth_bps: when set, client->server datagrams are serialized
+            through a token-less FIFO "pipe" at this rate with at most
+            ``queue_packets`` waiting; overflow is tail-dropped.
+    """
+
+    def __init__(
+        self,
+        scheduler: RealtimeScheduler,
+        server: Address,
+        delay: float = 0.0,
+        loss_model: Optional[DatagramLossModel] = None,
+        reverse_loss_model: Optional[DatagramLossModel] = None,
+        bandwidth_bps: Optional[float] = None,
+        queue_packets: int = 50,
+        bind: Optional[Address] = None,
+    ) -> None:
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if queue_packets < 1:
+            raise ValueError("queue_packets must be >= 1")
+        self.scheduler = scheduler
+        self.server = server
+        self.delay = delay
+        self.loss_model = loss_model
+        self.reverse_loss_model = reverse_loss_model
+        self.bandwidth_bps = bandwidth_bps
+        self.queue_packets = queue_packets
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.setblocking(False)
+        self.sock.bind(bind if bind is not None else ("127.0.0.1", 0))
+        scheduler.add_reader(self.sock, self._on_readable)
+        self._client: Optional[Address] = None
+        self._client_by_flow: Dict[int, Address] = {}
+        self._pipe: Deque[bytes] = deque()
+        self._pipe_busy_until = 0.0
+        self.forwarded_to_server = 0
+        self.forwarded_to_client = 0
+        self.dropped = 0
+        self.queue_drops = 0
+
+    @property
+    def local_address(self) -> Address:
+        return self.sock.getsockname()
+
+    def close(self) -> None:
+        self.scheduler.remove_reader(self.sock)
+        self.sock.close()
+
+    # -------------------------------------------------------------- inbound
+
+    def _on_readable(self, sock: socket.socket) -> None:
+        while True:
+            try:
+                data, addr = sock.recvfrom(_RECV_CHUNK)
+            except (BlockingIOError, OSError):
+                return
+            self._relay(data, addr)
+
+    @staticmethod
+    def _flow_id_of(data: bytes) -> Optional[int]:
+        try:
+            return decode_packet(data).flow_id
+        except WireFormatError:
+            return None
+
+    def _relay(self, data: bytes, addr: Address) -> None:
+        if addr == self.server:
+            if self.reverse_loss_model is not None and self.reverse_loss_model(
+                data, self.scheduler.now
+            ):
+                self.dropped += 1
+                return
+            flow_id = self._flow_id_of(data)
+            dest = self._client_by_flow.get(flow_id, self._client)
+            self._deliver(data, dest, reverse=True)
+            return
+        self._client = addr
+        flow_id = self._flow_id_of(data)
+        if flow_id is not None:
+            self._client_by_flow[flow_id] = addr
+        if self.loss_model is not None and self.loss_model(data, self.scheduler.now):
+            self.dropped += 1
+            return
+        if self.bandwidth_bps is None:
+            self._deliver(data, self.server, reverse=False)
+        else:
+            self._enqueue_pipe(data)
+
+    # ----------------------------------------------------------- rate cap
+
+    def _enqueue_pipe(self, data: bytes) -> None:
+        if len(self._pipe) >= self.queue_packets:
+            self.queue_drops += 1
+            return
+        self._pipe.append(data)
+        now = self.scheduler.now
+        start = max(now, self._pipe_busy_until)
+        assert self.bandwidth_bps is not None
+        serialization = len(data) * 8 / self.bandwidth_bps
+        self._pipe_busy_until = start + serialization
+        self.scheduler.schedule(self._pipe_busy_until, self._drain_pipe)
+
+    def _drain_pipe(self) -> None:
+        if self._pipe:
+            self._deliver(self._pipe.popleft(), self.server, reverse=False)
+
+    # ------------------------------------------------------------- deliver
+
+    def _deliver(self, data: bytes, dest: Optional[Address], reverse: bool) -> None:
+        if dest is None:
+            return
+        if self.delay > 0:
+            self.scheduler.schedule_in(self.delay, self._send_now, data, dest, reverse)
+        else:
+            self._send_now(data, dest, reverse)
+
+    def _send_now(self, data: bytes, dest: Address, reverse: bool) -> None:
+        try:
+            self.sock.sendto(data, dest)
+        except OSError:
+            return
+        if reverse:
+            self.forwarded_to_client += 1
+        else:
+            self.forwarded_to_server += 1

@@ -1,0 +1,170 @@
+"""Wall-clock scheduler with the :class:`~repro.sim.engine.Simulator` API.
+
+The TFRC protocol machines (:class:`~repro.core.sender.TfrcSender`,
+:class:`~repro.core.receiver.TfrcReceiver`) touch their host environment
+through exactly three things: ``now``, ``schedule(time, cb)`` /
+``schedule_in(delay, cb)`` returning cancellable events, and the callbacks
+the network invokes on them.  This class provides that same surface over
+real time and real sockets, so the very code validated in simulation runs
+unmodified on the wire.
+
+The loop is ``select``-based: it sleeps until the earliest pending timer or
+socket readiness, dispatches ready sockets first, then fires due timers.
+``time_fn`` is injectable for unit tests; the default is
+``time.monotonic`` (never jumps backwards, unaffected by NTP steps).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import select
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Event, SimulationError
+
+ReadCallback = Callable[[socket.socket], None]
+
+#: Largest select timeout used; keeps the loop responsive to ``stop()``
+#: calls from socket callbacks even when no timer is pending.
+_MAX_POLL = 0.5
+
+
+class RealtimeScheduler:
+    """Timers plus socket readiness over wall-clock time.
+
+    Duck-type compatible with :class:`~repro.sim.engine.Simulator` for the
+    subset protocol endpoints use (``now``, ``schedule``, ``schedule_in``,
+    ``stop``).  Additionally sockets may be registered with
+    :meth:`add_reader`; their callbacks run from :meth:`run` whenever the
+    socket is readable.
+    """
+
+    def __init__(self, time_fn: Callable[[], float] = time.monotonic) -> None:
+        self._time_fn = time_fn
+        self._epoch = time_fn()
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._stopped = False
+        self._readers: Dict[socket.socket, ReadCallback] = {}
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Seconds since this scheduler was created."""
+        return self._time_fn() - self._epoch
+
+    # -------------------------------------------------------------- timers
+
+    def schedule(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute scheduler time ``when``.
+
+        Unlike the simulator, a time slightly in the past is accepted (the
+        wall clock moves while user code runs); it fires on the next loop
+        iteration.  Non-finite times are still rejected.
+        """
+        if not math.isfinite(when):
+            raise SimulationError(f"cannot schedule at non-finite time {when!r}")
+        event = Event(when, priority, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule(self.now + delay, callback, *args, priority=priority)
+
+    def pending_count(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # ------------------------------------------------------------- sockets
+
+    def add_reader(self, sock: socket.socket, callback: ReadCallback) -> None:
+        """Invoke ``callback(sock)`` whenever ``sock`` is readable.
+
+        The socket should be non-blocking; the callback is expected to
+        drain it (loop over ``recvfrom`` until ``BlockingIOError``).
+        """
+        sock.setblocking(False)
+        self._readers[sock] = callback
+
+    def remove_reader(self, sock: socket.socket) -> None:
+        self._readers.pop(sock, None)
+
+    # ----------------------------------------------------------------- run
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current dispatch."""
+        self._stopped = True
+
+    def _pop_due(self) -> Optional[Event]:
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if event.time <= self.now:
+                return heapq.heappop(self._heap)
+            return None
+        return None
+
+    def _next_deadline(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run_once(self, max_wait: float = _MAX_POLL) -> None:
+        """One loop iteration: wait (bounded), dispatch sockets and timers."""
+        deadline = self._next_deadline()
+        timeout = max_wait
+        if deadline is not None:
+            timeout = min(max_wait, max(0.0, deadline - self.now))
+        if self._readers:
+            readable, _, _ = select.select(list(self._readers), [], [], timeout)
+        else:
+            if timeout > 0:
+                time.sleep(timeout)
+            readable = []
+        for sock in readable:
+            callback = self._readers.get(sock)
+            if callback is not None:
+                callback(sock)
+        while True:
+            event = self._pop_due()
+            if event is None:
+                break
+            event.callback(*event.args)
+            self.events_processed += 1
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until :meth:`stop` or scheduler time ``until``.
+
+        With no sockets and no timers pending (and no ``until``), returns
+        immediately rather than spinning forever.
+        """
+        self._stopped = False
+        while not self._stopped:
+            if until is not None and self.now >= until:
+                break
+            if until is None and not self._readers and self._next_deadline() is None:
+                break
+            max_wait = _MAX_POLL
+            if until is not None:
+                max_wait = min(max_wait, max(0.0, until - self.now))
+            self.run_once(max_wait=max_wait)
+        return self.now

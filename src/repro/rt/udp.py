@@ -1,0 +1,392 @@
+"""UDP socket endpoints hosting the TFRC protocol machines.
+
+Each endpoint owns a non-blocking UDP socket registered with a
+:class:`~repro.rt.scheduler.RealtimeScheduler` and translates between the
+wire encodings (:mod:`repro.wire`) and the in-memory packet objects the
+core protocol machines exchange in simulation:
+
+* :class:`UdpTfrcSender` wraps :class:`~repro.core.sender.TfrcSender`:
+  outgoing simulated packets become :class:`~repro.wire.DataPacket`
+  datagrams; incoming feedback datagrams become
+  :class:`~repro.core.receiver.TfrcFeedback` objects fed to
+  ``on_feedback``.
+* :class:`UdpTfrcReceiver` wraps :class:`~repro.core.receiver.TfrcReceiver`
+  symmetrically.
+
+Timestamps cross the wire as microseconds of the *sender's* scheduler
+clock, echoed back verbatim, so RTT measurement needs no clock
+synchronization -- exactly the sequence-number-echo scheme of paper
+section 3.2.  Malformed datagrams (bad magic, checksum, truncation) are
+counted and dropped, never raised: on a real network they are line noise.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Tuple
+
+from repro.core.receiver import TfrcFeedback, TfrcReceiver
+from repro.core.sender import TfrcDataInfo, TfrcSender
+from repro.net.packet import Packet, PacketType
+from repro.rt.scheduler import RealtimeScheduler
+from repro.wire.headers import (
+    DATA_HEADER_SIZE,
+    DataPacket,
+    FeedbackPacket,
+    WireFormatError,
+    decode_packet,
+)
+from repro.wire.seqnum import seq_diff
+
+Address = Tuple[str, int]
+
+_RECV_CHUNK = 65536
+_MAX_RTT_US = 0xFFFFFFFF
+
+
+def _us(seconds: float) -> int:
+    """Seconds to non-negative integer microseconds."""
+    return max(0, round(seconds * 1e6))
+
+
+def _open_udp(bind: Optional[Address]) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.setblocking(False)
+    sock.bind(bind if bind is not None else ("127.0.0.1", 0))
+    return sock
+
+
+class UdpTfrcSender:
+    """TFRC sender endpoint over a real UDP socket.
+
+    Args:
+        scheduler: the real-time event loop to run on (shared loops are
+            fine: several endpoints can register on one scheduler, which is
+            how the loopback session runs everything in one process).
+        peer: receiver (or impairment proxy) address.
+        flow_id: 32-bit on-wire flow identifier.
+        packet_size: wire bytes per data packet; the data header is padded
+            with zero payload bytes up to this size, like a media frame.
+        **sender_kwargs: forwarded to :class:`~repro.core.sender.TfrcSender`
+            (EWMA weight, interpacket adjustment, initial RTT, ...).
+    """
+
+    def __init__(
+        self,
+        scheduler: RealtimeScheduler,
+        peer: Address,
+        flow_id: int = 1,
+        packet_size: int = 1000,
+        bind: Optional[Address] = None,
+        **sender_kwargs,
+    ) -> None:
+        if packet_size < DATA_HEADER_SIZE:
+            raise ValueError(
+                f"packet_size must be >= {DATA_HEADER_SIZE} (the data header)"
+            )
+        self.scheduler = scheduler
+        self.peer = peer
+        self.flow_id = flow_id
+        self.packet_size = packet_size
+        self.sock = _open_udp(bind)
+        scheduler.add_reader(self.sock, self._on_readable)
+        self.core = TfrcSender(
+            sim=scheduler,
+            flow_id=str(flow_id),
+            send_packet=self._transmit,
+            packet_size=packet_size,
+            **sender_kwargs,
+        )
+        self.datagrams_sent = 0
+        self.feedback_datagrams = 0
+        self.malformed_datagrams = 0
+        self.send_errors = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def local_address(self) -> Address:
+        return self.sock.getsockname()
+
+    def start(self) -> None:
+        self.core.start()
+
+    def stop(self) -> None:
+        self.core.stop()
+        self.scheduler.remove_reader(self.sock)
+
+    def close(self) -> None:
+        self.stop()
+        self.sock.close()
+
+    # ------------------------------------------------------------- outbound
+
+    def _transmit(self, packet: Packet) -> None:
+        info = packet.payload
+        assert isinstance(info, TfrcDataInfo)
+        wire = DataPacket(
+            flow_id=self.flow_id,
+            seq=packet.seq & 0xFFFFFFFF,
+            send_ts_us=_us(info.ts),
+            rtt_us=min(_MAX_RTT_US, _us(info.rtt_estimate)),
+            ecn_capable=packet.ecn_capable,
+            payload=b"\x00" * (self.packet_size - DATA_HEADER_SIZE),
+        )
+        try:
+            self.sock.sendto(wire.encode(), self.peer)
+            self.datagrams_sent += 1
+        except OSError:
+            self.send_errors += 1
+
+    # -------------------------------------------------------------- inbound
+
+    def _on_readable(self, sock: socket.socket) -> None:
+        while True:
+            try:
+                data, _addr = sock.recvfrom(_RECV_CHUNK)
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            self._handle_datagram(data)
+
+    def _handle_datagram(self, data: bytes) -> None:
+        try:
+            parsed = decode_packet(data)
+        except WireFormatError:
+            self.malformed_datagrams += 1
+            return
+        if not isinstance(parsed, FeedbackPacket) or parsed.flow_id != self.flow_id:
+            self.malformed_datagrams += 1
+            return
+        self.feedback_datagrams += 1
+        feedback = TfrcFeedback(
+            echo_ts=parsed.echo_ts_us / 1e6,
+            echo_seq=parsed.echo_seq,
+            delay=parsed.delay_us / 1e6,
+            p=parsed.p,
+            recv_rate=float(parsed.recv_rate),
+            expedited=parsed.expedited,
+        )
+        packet = Packet(
+            flow_id=str(self.flow_id),
+            seq=parsed.echo_seq,
+            size=parsed.wire_size,
+            ptype=PacketType.FEEDBACK,
+            sent_at=self.scheduler.now,
+            payload=feedback,
+        )
+        self.core.on_feedback(packet)
+
+
+class UdpTfrcReceiverMux:
+    """Several TFRC flows terminating on one UDP socket.
+
+    Demultiplexes arriving data datagrams by flow id to per-flow
+    :class:`UdpTfrcReceiver`-style state (each flow gets its own core
+    protocol machine and reply address).  Used by multi-flow real-stack
+    experiments, where one impairment proxy fronts one receiver port.
+
+    Flows are created on demand when ``accept_new_flows`` is true (the
+    default); otherwise only pre-registered flow ids (via :meth:`add_flow`)
+    are accepted and anything else counts as malformed.
+    """
+
+    def __init__(
+        self,
+        scheduler: RealtimeScheduler,
+        bind: Optional[Address] = None,
+        accept_new_flows: bool = True,
+        **receiver_kwargs,
+    ) -> None:
+        self.scheduler = scheduler
+        self.sock = _open_udp(bind)
+        scheduler.add_reader(self.sock, self._on_readable)
+        self.accept_new_flows = accept_new_flows
+        self._receiver_kwargs = receiver_kwargs
+        self.flows: dict = {}
+        self.malformed_datagrams = 0
+
+    @property
+    def local_address(self) -> Address:
+        return self.sock.getsockname()
+
+    def add_flow(self, flow_id: int) -> "UdpTfrcReceiver":
+        """Register (or fetch) the per-flow receiver state."""
+        if flow_id not in self.flows:
+            self.flows[flow_id] = UdpTfrcReceiver(
+                self.scheduler,
+                flow_id=flow_id,
+                shared_sock=self.sock,  # mux reads; flow only writes
+                **self._receiver_kwargs,
+            )
+        return self.flows[flow_id]
+
+    def _on_readable(self, sock: socket.socket) -> None:
+        while True:
+            try:
+                data, addr = sock.recvfrom(_RECV_CHUNK)
+            except (BlockingIOError, OSError):
+                return
+            self._handle_datagram(data, addr)
+
+    def _handle_datagram(self, data: bytes, addr: Address) -> None:
+        try:
+            parsed = decode_packet(data)
+        except WireFormatError:
+            self.malformed_datagrams += 1
+            return
+        if not isinstance(parsed, DataPacket):
+            self.malformed_datagrams += 1
+            return
+        if parsed.flow_id not in self.flows and not self.accept_new_flows:
+            self.malformed_datagrams += 1
+            return
+        receiver = self.add_flow(parsed.flow_id)
+        receiver._handle_datagram(data, addr)
+
+    def stop(self) -> None:
+        for receiver in self.flows.values():
+            receiver.core.stop()
+        self.scheduler.remove_reader(self.sock)
+
+    def close(self) -> None:
+        self.stop()
+        self.sock.close()
+
+
+class UdpTfrcReceiver:
+    """TFRC receiver endpoint over a real UDP socket.
+
+    Feedback is sent to the source address of the most recent data
+    datagram, so the receiver works unchanged behind a relay/proxy (the
+    reply retraces the forward path).
+
+    On-wire 32-bit sequence numbers are unwrapped into the monotonically
+    increasing sequence space the core receiver expects, using serial-
+    number arithmetic relative to the highest sequence seen.
+
+    With ``shared_sock`` (set by :class:`UdpTfrcReceiverMux`) the endpoint
+    writes feedback through the given socket but does not read from it --
+    the mux owns reading and demultiplexes to :meth:`_handle_datagram`.
+    """
+
+    def __init__(
+        self,
+        scheduler: RealtimeScheduler,
+        flow_id: int = 1,
+        bind: Optional[Address] = None,
+        shared_sock: Optional[socket.socket] = None,
+        **receiver_kwargs,
+    ) -> None:
+        self.scheduler = scheduler
+        self.flow_id = flow_id
+        self._owns_sock = shared_sock is None
+        if shared_sock is None:
+            self.sock = _open_udp(bind)
+            scheduler.add_reader(self.sock, self._on_readable)
+        else:
+            self.sock = shared_sock
+        self.core = TfrcReceiver(
+            sim=scheduler,
+            flow_id=str(flow_id),
+            send_feedback=self._transmit_feedback,
+            **receiver_kwargs,
+        )
+        self._reply_to: Optional[Address] = None
+        self._unwrap_base = 0  # running count of full wraps, in packets
+        self._highest_wire_seq: Optional[int] = None
+        self.datagrams_received = 0
+        self.malformed_datagrams = 0
+        self.feedback_sent = 0
+        self.send_errors = 0
+
+    @property
+    def local_address(self) -> Address:
+        return self.sock.getsockname()
+
+    def stop(self) -> None:
+        self.core.stop()
+        if self._owns_sock:
+            self.scheduler.remove_reader(self.sock)
+
+    def close(self) -> None:
+        self.stop()
+        if self._owns_sock:
+            self.sock.close()
+
+    # -------------------------------------------------------------- inbound
+
+    def _unwrap(self, wire_seq: int) -> int:
+        """Map a wrapped 32-bit wire sequence to the unbounded space."""
+        if self._highest_wire_seq is None:
+            self._highest_wire_seq = wire_seq
+            return self._unwrap_base + wire_seq
+        delta = seq_diff(wire_seq, self._highest_wire_seq)
+        unwrapped = self._unwrap_base + self._highest_wire_seq + delta
+        if delta > 0:
+            if wire_seq < self._highest_wire_seq:
+                self._unwrap_base += 1 << 32  # crossed the wrap boundary
+            self._highest_wire_seq = wire_seq
+        return unwrapped
+
+    def _on_readable(self, sock: socket.socket) -> None:
+        while True:
+            try:
+                data, addr = sock.recvfrom(_RECV_CHUNK)
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            self._handle_datagram(data, addr)
+
+    def _handle_datagram(self, data: bytes, addr: Address) -> None:
+        try:
+            parsed = decode_packet(data)
+        except WireFormatError:
+            self.malformed_datagrams += 1
+            return
+        if not isinstance(parsed, DataPacket) or parsed.flow_id != self.flow_id:
+            self.malformed_datagrams += 1
+            return
+        self.datagrams_received += 1
+        self._reply_to = addr
+        seq = self._unwrap(parsed.seq)
+        if seq < 0:
+            self.malformed_datagrams += 1  # pre-history duplicate after wrap
+            return
+        packet = Packet(
+            flow_id=str(self.flow_id),
+            seq=seq,
+            size=parsed.wire_size,
+            ptype=PacketType.DATA,
+            sent_at=parsed.send_ts_us / 1e6,
+            payload=TfrcDataInfo(
+                ts=parsed.send_ts_us / 1e6,
+                rtt_estimate=parsed.rtt_us / 1e6,
+            ),
+            ecn_capable=parsed.ecn_capable,
+        )
+        self.core.receive(packet)
+
+    # ------------------------------------------------------------- outbound
+
+    def _transmit_feedback(self, packet: Packet) -> None:
+        if self._reply_to is None:
+            return
+        feedback = packet.payload
+        assert isinstance(feedback, TfrcFeedback)
+        wire = FeedbackPacket(
+            flow_id=self.flow_id,
+            echo_seq=feedback.echo_seq & 0xFFFFFFFF,
+            echo_ts_us=_us(feedback.echo_ts),
+            delay_us=min(0xFFFFFFFF, _us(feedback.delay)),
+            p=min(1.0, max(0.0, feedback.p)),
+            recv_rate=max(0, round(feedback.recv_rate)),
+            expedited=feedback.expedited,
+        )
+        try:
+            self.sock.sendto(wire.encode(), self._reply_to)
+            self.feedback_sent += 1
+        except OSError:
+            self.send_errors += 1

@@ -1,0 +1,179 @@
+"""Heap-based discrete-event simulation engine.
+
+The engine is the substrate equivalent of the ns-2 scheduler used in the
+paper's evaluation.  Events are ``(time, priority, sequence, callback)``
+tuples kept in a binary heap; the sequence number makes ordering total and
+deterministic, so two runs with the same seeds produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler operations (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A single scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and can be cancelled.
+    Cancellation is lazy: the heap entry stays in place and is skipped when
+    popped, which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} prio={self.priority} {state}>"
+
+
+class Simulator:
+    """Discrete-event simulator with a floating-point clock in seconds.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, callback, arg1, arg2)
+        sim.run(until=30.0)
+
+    The clock never moves backwards.  ``schedule`` takes an *absolute* time;
+    ``schedule_in`` takes a delay relative to :attr:`now`.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``.
+
+        ``priority`` breaks ties among events at the same instant (lower runs
+        first).  Raises :class:`SimulationError` if ``time`` precedes the
+        current clock or is not finite.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule at non-finite time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.9f} before current time {self._now:.9f}"
+            )
+        event = Event(time, priority, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule(self._now + delay, callback, *args, priority=priority)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events in order until the heap drains, ``until`` is reached,
+        or ``max_events`` have been processed.
+
+        Returns the simulation time when the loop exits.  When ``until`` is
+        given the clock is advanced to ``until`` even if the last event fired
+        earlier, which makes back-to-back ``run`` calls well behaved.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+                self.events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def reset(self) -> None:
+        """Clear the event heap and rewind the clock to zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._heap.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._stopped = False
+        self.events_processed = 0

@@ -1,0 +1,112 @@
+"""Restartable timers and periodic processes on top of the event loop.
+
+These are the building blocks for protocol machinery: TCP retransmission
+timers, the TFRC no-feedback timer, receiver feedback timers, and traffic
+generators all use :class:`Timer` or :class:`PeriodicProcess`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """A single-shot, restartable timer.
+
+    The callback fires once, ``interval`` seconds after the most recent
+    ``start``/``restart``.  Starting a pending timer reschedules it; this
+    mirrors how TCP's RTO timer is pushed back on every new ACK.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """True while a fire is scheduled and not yet delivered."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute time the timer will fire, or None if not pending."""
+        if self.pending:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, interval: float) -> None:
+        """(Re)arm the timer to fire ``interval`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule_in(interval, self._fire)
+
+    def restart(self, interval: float) -> None:
+        """Alias of :meth:`start`; reads better at call sites that re-arm."""
+        self.start(interval)
+
+    def cancel(self) -> None:
+        """Disarm the timer if pending."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicProcess:
+    """Invoke a callback at (possibly varying) intervals.
+
+    ``interval_fn`` is consulted before each scheduling step, which lets
+    traffic sources draw intervals from a distribution and lets rate-paced
+    senders change their spacing between packets.  Returning ``None`` from
+    ``interval_fn`` stops the process.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[[], Any],
+        interval_fn: Callable[[], Optional[float]],
+    ) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._interval_fn = interval_fn
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        """Begin ticking ``initial_delay`` seconds from now."""
+        if self._running:
+            return
+        self._running = True
+        self._event = self._sim.schedule_in(initial_delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking; safe to call repeatedly."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if not self._running:
+            # The callback may have stopped us.
+            return
+        interval = self._interval_fn()
+        if interval is None:
+            self._running = False
+            self._event = None
+            return
+        self._event = self._sim.schedule_in(interval, self._tick)

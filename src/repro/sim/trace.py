@@ -1,0 +1,101 @@
+"""Structured tracing for simulations.
+
+Protocol agents and queue monitors append :class:`TraceRecord` entries to a
+shared :class:`Tracer`.  The analysis layer (time series, CoV, equivalence
+ratio) consumes these records after the run.  Tracing is designed to be cheap
+enough to leave enabled: appending a small tuple-like object to a list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes:
+        time: simulation time of the event.
+        category: coarse event class, e.g. ``"send"``, ``"recv"``, ``"drop"``,
+            ``"queue"``, ``"rate"``.
+        source: name of the emitting component (flow or link name).
+        value: numeric payload (bytes for send/recv, queue length for queue
+            samples, rate for rate samples).
+        meta: optional extra fields (sequence numbers, flags).
+    """
+
+    time: float
+    category: str
+    source: str
+    value: float = 0.0
+    meta: Optional[Dict[str, Any]] = None
+
+
+class Tracer:
+    """Append-only trace sink with simple filtered views."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._hooks: List[Callable[[TraceRecord], None]] = []
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        source: str,
+        value: float = 0.0,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append one record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(time, category, source, value, meta)
+        self._records.append(rec)
+        for hook in self._hooks:
+            hook(rec)
+
+    def add_hook(self, hook: Callable[[TraceRecord], None]) -> None:
+        """Register a live observer invoked for every record."""
+        self._hooks.append(hook)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        t_min: Optional[float] = None,
+        t_max: Optional[float] = None,
+    ) -> List[TraceRecord]:
+        """Records matching all provided filters, in time order."""
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if t_min is not None and rec.time < t_min:
+                continue
+            if t_max is not None and rec.time > t_max:
+                continue
+            out.append(rec)
+        return out
+
+    def sources(self, category: Optional[str] = None) -> List[str]:
+        """Sorted unique source names (optionally within one category)."""
+        names = {
+            rec.source
+            for rec in self._records
+            if category is None or rec.category == category
+        }
+        return sorted(names)
+
+    def clear(self) -> None:
+        self._records.clear()

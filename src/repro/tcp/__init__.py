@@ -1,0 +1,53 @@
+"""Packet-level TCP implementations (Tahoe, Reno, NewReno, SACK).
+
+These are the competing-traffic baselines the paper evaluates TFRC against.
+They are window-based, ACK-clocked senders with:
+
+* slow start / congestion avoidance,
+* fast retransmit and variant-specific loss recovery,
+* RTO estimation with configurable clock granularity (the paper discusses
+  500 ms FreeBSD clocks vs aggressive Solaris timers, section 4.3),
+* an optional delayed-ACK receiver.
+
+The sequence space is packet-granular (one sequence number per packet), the
+same modelling choice ns-2 makes.
+"""
+
+from repro.tcp.rto import RTOEstimator
+from repro.tcp.sink import TCPSink
+from repro.tcp.base import TCPSender
+from repro.tcp.tahoe import TahoeSender
+from repro.tcp.reno import RenoSender
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.sack import SackSender
+
+TCP_VARIANTS = {
+    "tahoe": TahoeSender,
+    "reno": RenoSender,
+    "newreno": NewRenoSender,
+    "sack": SackSender,
+}
+
+
+def make_tcp_sender(variant: str, *args, **kwargs) -> TCPSender:
+    """Construct a TCP sender by variant name ("tahoe"/"reno"/"newreno"/"sack")."""
+    try:
+        cls = TCP_VARIANTS[variant.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown TCP variant {variant!r}; choose from {sorted(TCP_VARIANTS)}"
+        ) from None
+    return cls(*args, **kwargs)
+
+
+__all__ = [
+    "RTOEstimator",
+    "TCPSink",
+    "TCPSender",
+    "TahoeSender",
+    "RenoSender",
+    "NewRenoSender",
+    "SackSender",
+    "TCP_VARIANTS",
+    "make_tcp_sender",
+]

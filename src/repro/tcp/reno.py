@@ -1,0 +1,39 @@
+"""Reno TCP: fast retransmit plus classic fast recovery.
+
+Classic Reno exits recovery on the first new ACK, even a partial one, which
+is why it can halve the window more than once when several packets are lost
+from a single flight -- a behaviour the paper calls out in section 3.5.1
+("Reno TCP typically reduces the congestion window twice in response to
+multiple losses in a window of data").
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import TCPSender
+
+
+class RenoSender(TCPSender):
+    variant = "reno"
+
+    def on_dupack_threshold(self) -> None:
+        self.halve_window()
+        self.in_recovery = True
+        self.recover = self.snd_nxt - 1
+        self.retransmit_head()
+        # Window inflation: ssthresh + number of dupACKs seen so far.
+        self.cwnd = self.ssthresh + self.dupack_threshold
+
+    def on_excess_dupack(self) -> None:
+        # Only reachable if recovery was exited while dupacks kept counting;
+        # treat like a recovery dupack for window inflation.
+        self.cwnd += 1.0
+
+    def on_recovery_dupack(self) -> None:
+        self.cwnd += 1.0  # each dupACK signals a departure; inflate
+
+    def on_partial_ack(self, ack_seq: int, newly_acked: int) -> None:
+        # Classic Reno: any new ACK terminates recovery (deflate to ssthresh).
+        self._exit_recovery()
+
+    def on_timeout_reset(self) -> None:
+        self.recover = -1

@@ -1,0 +1,106 @@
+"""SACK TCP (ns-2 "Sack1"-style): scoreboard plus pipe-based recovery.
+
+This is the variant the paper uses for its main simulations ("TFRC vs TCP
+Sack1").  During recovery the sender keeps a conservative estimate of the
+number of packets in the pipe; each arriving dupACK/SACK decrements it, each
+(re)transmission increments it, and packets are clocked out while
+``pipe < cwnd``.  Holes (sequence numbers below the highest SACKed block that
+the receiver has not reported) are retransmitted before any new data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.tcp.base import TCPSender
+from repro.tcp.sink import TCPAckInfo
+
+
+class SackSender(TCPSender):
+    variant = "sack"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._sacked: Set[int] = set()
+        self._retx_in_recovery: Set[int] = set()
+        self._pipe = 0
+
+    # ------------------------------------------------------------- SACK in
+
+    def _register_sack(self, info: TCPAckInfo) -> None:
+        before = len(self._sacked)
+        for start, end in info.sack_blocks:
+            for seq in range(start, end):
+                if seq >= self.snd_una:
+                    self._sacked.add(seq)
+        if self.in_recovery:
+            newly_sacked = len(self._sacked) - before
+            self._pipe = max(0, self._pipe - newly_sacked)
+
+    # ------------------------------------------------------------ recovery
+
+    def _holes(self) -> List[int]:
+        """Unacked, unsacked, not-yet-retransmitted seqs below the SACK top."""
+        if not self._sacked:
+            return []
+        top = max(self._sacked)
+        return [
+            seq
+            for seq in range(self.snd_una, top)
+            if seq not in self._sacked and seq not in self._retx_in_recovery
+        ]
+
+    def on_dupack_threshold(self) -> None:
+        self.halve_window()
+        self.in_recovery = True
+        self.recover = self.snd_nxt - 1
+        self.cwnd = max(1.0, self.ssthresh)
+        # Conservative pipe estimate: flight minus the dupACK departures.
+        self._pipe = max(0, self.outstanding - self.dupack_threshold)
+        self._retx_in_recovery.clear()
+        self._recovery_send()
+
+    def on_recovery_dupack(self) -> None:
+        # Pipe was already decremented by _register_sack for any *new* SACK
+        # information this ACK carried; a duplicate ACK with no new SACK
+        # blocks (e.g. triggered by one of our own spurious retransmissions)
+        # is not evidence that a packet left the network, so it must not
+        # shrink the pipe -- otherwise the sender clocks out an unbounded
+        # stream of useless retransmissions.
+        self._recovery_send()
+
+    def on_partial_ack(self, ack_seq: int, newly_acked: int) -> None:
+        # The cumulatively-ACKed packets have left the network.
+        self._pipe = max(0, self._pipe - newly_acked)
+        self._sacked = {s for s in self._sacked if s >= ack_seq}
+        self._recovery_send()
+
+    def _recovery_send(self) -> None:
+        while self._pipe < int(self.cwnd):
+            holes = self._holes()
+            if holes:
+                seq = holes[0]
+                self._retx_in_recovery.add(seq)
+                self._transmit(seq, is_retransmission=True)
+            elif self._more_data_available():
+                self._transmit(self.snd_nxt)
+                self.snd_nxt += 1
+            else:
+                break
+            self._pipe += 1
+
+    def _exit_recovery(self) -> None:
+        super()._exit_recovery()
+        self._sacked = {s for s in self._sacked if s >= self.snd_una}
+        self._retx_in_recovery.clear()
+        self._pipe = 0
+
+    def on_timeout_reset(self) -> None:
+        self._sacked.clear()
+        self._retx_in_recovery.clear()
+        self._pipe = 0
+
+    def _window_allows(self) -> bool:
+        if self.in_recovery:
+            return False  # recovery transmissions are pipe-clocked instead
+        return super()._window_allows()

@@ -1,0 +1,144 @@
+"""TCP receiver (sink): cumulative ACKs, SACK blocks, optional delayed ACKs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.net.packet import Packet, PacketType
+from repro.sim.engine import Simulator
+
+AckSender = Callable[[Packet], None]
+
+
+@dataclass
+class TCPAckInfo:
+    """Payload carried by ACK packets.
+
+    Attributes:
+        echo_ts: send timestamp of the data packet that triggered this ACK
+            (used for RTT measurement at the sender, RFC 1323-style).
+        echo_seq: sequence number of that data packet.
+        sack_blocks: up to three ``(start, end)`` half-open ranges of
+            out-of-order data held by the receiver, most recent first.
+    """
+
+    echo_ts: float
+    echo_seq: int
+    sack_blocks: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class TCPSink:
+    """Receives data packets and emits (possibly delayed) cumulative ACKs."""
+
+    ACK_SIZE = 40  # bytes: TCP/IP header only
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        send_ack: AckSender,
+        delayed_ack: bool = False,
+        delack_interval: float = 0.2,
+        on_data: Optional[Callable[[float, Packet], None]] = None,
+        max_sack_blocks: int = 3,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self._send_ack = send_ack
+        self.delayed_ack = delayed_ack
+        self.delack_interval = delack_interval
+        self.on_data = on_data
+        self.max_sack_blocks = max_sack_blocks
+        self.next_expected = 0
+        self._out_of_order: Set[int] = set()
+        self._pending_ack_echo: Optional[Tuple[float, int]] = None
+        self._delack_event = None
+        self.packets_received = 0
+        self.acks_sent = 0
+        self.duplicate_data = 0
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving data packet."""
+        if not packet.is_data:
+            return
+        self.packets_received += 1
+        if self.on_data is not None:
+            self.on_data(self.sim.now, packet)
+        seq = packet.seq
+        if seq < self.next_expected or seq in self._out_of_order:
+            self.duplicate_data += 1
+            self._emit_ack(packet)  # duplicate data still triggers an ACK
+            return
+        self._out_of_order.add(seq)
+        while self.next_expected in self._out_of_order:
+            self._out_of_order.discard(self.next_expected)
+            self.next_expected += 1
+        in_order = seq < self.next_expected
+        if in_order and self.delayed_ack and not self._out_of_order:
+            self._maybe_delay_ack(packet)
+        else:
+            # Out-of-order data (or a gap fill) must be ACKed immediately so
+            # the sender's fast-retransmit machinery sees dupACKs promptly.
+            self._emit_ack(packet)
+
+    def _maybe_delay_ack(self, packet: Packet) -> None:
+        if self._pending_ack_echo is None:
+            self._pending_ack_echo = (packet.sent_at, packet.seq)
+            self._delack_event = self.sim.schedule_in(
+                self.delack_interval, self._delack_fire
+            )
+        else:
+            # Second in-order packet: ACK both at once.
+            if self._delack_event is not None:
+                self._delack_event.cancel()
+                self._delack_event = None
+            self._pending_ack_echo = None
+            self._emit_ack(packet)
+
+    def _delack_fire(self) -> None:
+        if self._pending_ack_echo is None:
+            return
+        echo_ts, echo_seq = self._pending_ack_echo
+        self._pending_ack_echo = None
+        self._delack_event = None
+        self._send(echo_ts, echo_seq)
+
+    def _emit_ack(self, packet: Packet) -> None:
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+            self._pending_ack_echo = None
+        self._send(packet.sent_at, packet.seq)
+
+    def _sack_blocks(self) -> List[Tuple[int, int]]:
+        """Contiguous ranges of out-of-order data above the cumulative ACK."""
+        if not self._out_of_order:
+            return []
+        blocks: List[Tuple[int, int]] = []
+        seqs = sorted(self._out_of_order)
+        start = prev = seqs[0]
+        for seq in seqs[1:]:
+            if seq == prev + 1:
+                prev = seq
+                continue
+            blocks.append((start, prev + 1))
+            start = prev = seq
+        blocks.append((start, prev + 1))
+        blocks.sort(key=lambda b: -b[1])  # most recent (highest) first
+        return blocks[: self.max_sack_blocks]
+
+    def _send(self, echo_ts: float, echo_seq: int) -> None:
+        info = TCPAckInfo(
+            echo_ts=echo_ts, echo_seq=echo_seq, sack_blocks=self._sack_blocks()
+        )
+        ack = Packet(
+            flow_id=self.flow_id,
+            seq=self.next_expected,
+            size=self.ACK_SIZE,
+            ptype=PacketType.ACK,
+            sent_at=self.sim.now,
+            payload=info,
+        )
+        self.acks_sent += 1
+        self._send_ack(ack)

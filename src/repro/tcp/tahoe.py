@@ -1,0 +1,21 @@
+"""Tahoe TCP: fast retransmit, then slow start from a window of one."""
+
+from __future__ import annotations
+
+from repro.tcp.base import TCPSender
+
+
+class TahoeSender(TCPSender):
+    """Tahoe reduces to cwnd = 1 on every loss detection (no fast recovery)."""
+
+    variant = "tahoe"
+
+    def on_dupack_threshold(self) -> None:
+        self.halve_window()
+        self.cwnd = 1.0
+        self.dupacks = 0
+        # Tahoe re-enters slow start and retransmits the lost packet; data
+        # beyond snd_una will be re-sent as the window regrows (go-back-N).
+        self.snd_nxt = self.snd_una
+        self.retransmit_head()
+        self.snd_nxt = self.snd_una + 1

@@ -1,0 +1,67 @@
+"""Byte-level wire formats for TFRC.
+
+The paper's evaluation included a real-world (userspace UDP) TFRC
+implementation alongside the ns-2 one.  This package provides what that
+implementation needs on the wire:
+
+* :mod:`repro.wire.seqnum` -- fixed-width serial-number arithmetic
+  (RFC 1982 style) so sequence numbers survive wrap-around;
+* :mod:`repro.wire.checksum` -- the ones-complement Internet checksum
+  (RFC 1071) protecting every header;
+* :mod:`repro.wire.headers` -- pack/unpack for TFRC data and feedback
+  packets, mirroring the fields the simulator's
+  :class:`~repro.core.sender.TfrcDataInfo` and
+  :class:`~repro.core.receiver.TfrcFeedback` carry in-memory.
+
+The encodings are this project's own (the paper predates the standardized
+RFC 4342/5348 packet formats and used ad-hoc framing), but follow the same
+conventions: network byte order, microsecond timestamps, fixed-point loss
+rates.
+"""
+
+from repro.wire.checksum import internet_checksum, verify_checksum
+from repro.wire.headers import (
+    FEEDBACK_HEADER_SIZE,
+    DATA_HEADER_SIZE,
+    BadMagicError,
+    ChecksumMismatchError,
+    DataPacket,
+    FeedbackPacket,
+    TruncatedPacketError,
+    UnsupportedVersionError,
+    WireFormatError,
+    decode_packet,
+)
+from repro.wire.seqnum import (
+    SEQ_SPACE_BITS,
+    seq_add,
+    seq_diff,
+    seq_gt,
+    seq_gte,
+    seq_lt,
+    seq_lte,
+    seq_window_iter,
+)
+
+__all__ = [
+    "internet_checksum",
+    "verify_checksum",
+    "DataPacket",
+    "FeedbackPacket",
+    "decode_packet",
+    "WireFormatError",
+    "TruncatedPacketError",
+    "BadMagicError",
+    "ChecksumMismatchError",
+    "UnsupportedVersionError",
+    "DATA_HEADER_SIZE",
+    "FEEDBACK_HEADER_SIZE",
+    "SEQ_SPACE_BITS",
+    "seq_add",
+    "seq_diff",
+    "seq_lt",
+    "seq_lte",
+    "seq_gt",
+    "seq_gte",
+    "seq_window_iter",
+]

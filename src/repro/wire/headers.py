@@ -1,0 +1,231 @@
+"""TFRC packet headers: pack to and parse from bytes.
+
+Layout (all fields network byte order):
+
+Common prefix (10 bytes)::
+
+    0      2      3      4          6          10
+    +------+------+------+----------+----------+
+    | 'TF' | ver  | type | checksum | flow_id  |
+    +------+------+------+----------+----------+
+
+``type`` is 1 for data, 2 for feedback.  ``checksum`` is the RFC 1071
+Internet checksum over the entire datagram with the checksum field zeroed.
+
+Data packet (18 more bytes, 28 total)::
+
+    seq(4) send_ts_us(8) rtt_us(4) flags(1) reserved(1)
+
+``send_ts_us`` is the sender clock in microseconds (echoed back verbatim),
+``rtt_us`` the sender's current smoothed RTT estimate, piggybacked so the
+receiver can coalesce loss events without its own RTT measurement.  Flag
+bit 0 marks the packet ECN-capable.  Any bytes after the header are
+application payload (padding, for a paced media source).
+
+Feedback packet (30 more bytes, 40 total -- matching the 40-byte feedback
+size the simulator's :class:`~repro.core.receiver.TfrcReceiver` assumes)::
+
+    echo_seq(4) echo_ts_us(8) delay_us(4) p_fixed(4) recv_rate(8) flags(1) reserved(1)
+
+``p_fixed`` is the loss event rate as unsigned 0.32 fixed point
+(``round(p * 0xFFFFFFFF)``), ``recv_rate`` the receive rate in bytes per
+second.  Flag bit 0 marks an expedited (new-loss-event) report.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.wire.checksum import internet_checksum, verify_checksum
+
+MAGIC = b"TF"
+VERSION = 1
+TYPE_DATA = 1
+TYPE_FEEDBACK = 2
+
+_COMMON = struct.Struct("!2sBBHI")
+_DATA = struct.Struct("!IQIBB")
+_FEEDBACK = struct.Struct("!IQIIQBB")
+
+DATA_HEADER_SIZE = _COMMON.size + _DATA.size
+FEEDBACK_HEADER_SIZE = _COMMON.size + _FEEDBACK.size
+
+_P_SCALE = 0xFFFFFFFF
+_MAX_U32 = 0xFFFFFFFF
+_MAX_U64 = 0xFFFFFFFFFFFFFFFF
+
+FLAG_ECN_CAPABLE = 0x01
+FLAG_EXPEDITED = 0x01
+
+
+class WireFormatError(ValueError):
+    """Base class for malformed-datagram errors."""
+
+
+class TruncatedPacketError(WireFormatError):
+    """Datagram shorter than its header demands."""
+
+
+class BadMagicError(WireFormatError):
+    """Datagram does not start with the TFRC magic."""
+
+
+class UnsupportedVersionError(WireFormatError):
+    """Datagram claims a version this implementation does not speak."""
+
+
+class ChecksumMismatchError(WireFormatError):
+    """Datagram corrupted in flight (checksum failed)."""
+
+
+def _check_u32(name: str, value: int) -> int:
+    if not 0 <= value <= _MAX_U32:
+        raise ValueError(f"{name}={value} outside unsigned 32-bit range")
+    return value
+
+
+def _check_u64(name: str, value: int) -> int:
+    if not 0 <= value <= _MAX_U64:
+        raise ValueError(f"{name}={value} outside unsigned 64-bit range")
+    return value
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """Parsed TFRC data packet.
+
+    Attributes:
+        flow_id: 32-bit flow identifier.
+        seq: 32-bit wrapped sequence number.
+        send_ts_us: sender clock at transmission, microseconds.
+        rtt_us: sender's smoothed RTT estimate, microseconds.
+        ecn_capable: flag bit 0.
+        payload: application bytes following the header.
+    """
+
+    flow_id: int
+    seq: int
+    send_ts_us: int
+    rtt_us: int
+    ecn_capable: bool = False
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize, computing the checksum over the whole datagram."""
+        _check_u32("flow_id", self.flow_id)
+        _check_u32("seq", self.seq)
+        _check_u64("send_ts_us", self.send_ts_us)
+        _check_u32("rtt_us", self.rtt_us)
+        flags = FLAG_ECN_CAPABLE if self.ecn_capable else 0
+        body = _DATA.pack(self.seq, self.send_ts_us, self.rtt_us, flags, 0)
+        head = _COMMON.pack(MAGIC, VERSION, TYPE_DATA, 0, self.flow_id)
+        datagram = head + body + self.payload
+        checksum = internet_checksum(datagram)
+        head = _COMMON.pack(MAGIC, VERSION, TYPE_DATA, checksum, self.flow_id)
+        return head + body + self.payload
+
+    @property
+    def wire_size(self) -> int:
+        return DATA_HEADER_SIZE + len(self.payload)
+
+
+@dataclass(frozen=True)
+class FeedbackPacket:
+    """Parsed TFRC feedback packet.
+
+    Attributes:
+        flow_id: 32-bit flow identifier (same as the data direction).
+        echo_seq: sequence number of the newest data packet received.
+        echo_ts_us: that packet's ``send_ts_us``, echoed.
+        delay_us: receiver hold time between receiving that packet and
+            sending this report (the sender subtracts it from its RTT
+            sample).
+        p: loss event rate in [0, 1] (quantized to 0.32 fixed point on the
+            wire).
+        recv_rate: receive rate over the last RTT, bytes/second (integer).
+        expedited: True for a new-loss-event report.
+    """
+
+    flow_id: int
+    echo_seq: int
+    echo_ts_us: int
+    delay_us: int
+    p: float
+    recv_rate: int
+    expedited: bool = False
+
+    def encode(self) -> bytes:
+        _check_u32("flow_id", self.flow_id)
+        _check_u32("echo_seq", self.echo_seq)
+        _check_u64("echo_ts_us", self.echo_ts_us)
+        _check_u32("delay_us", self.delay_us)
+        _check_u64("recv_rate", self.recv_rate)
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"loss event rate {self.p} outside [0, 1]")
+        p_fixed = round(self.p * _P_SCALE)
+        flags = FLAG_EXPEDITED if self.expedited else 0
+        body = _FEEDBACK.pack(
+            self.echo_seq, self.echo_ts_us, self.delay_us,
+            p_fixed, self.recv_rate, flags, 0,
+        )
+        head = _COMMON.pack(MAGIC, VERSION, TYPE_FEEDBACK, 0, self.flow_id)
+        checksum = internet_checksum(head + body)
+        head = _COMMON.pack(MAGIC, VERSION, TYPE_FEEDBACK, checksum, self.flow_id)
+        return head + body
+
+    @property
+    def wire_size(self) -> int:
+        return FEEDBACK_HEADER_SIZE
+
+
+def decode_packet(data: bytes):
+    """Parse a datagram into a :class:`DataPacket` or :class:`FeedbackPacket`.
+
+    Raises a :class:`WireFormatError` subclass describing exactly what was
+    wrong; callers on a real network treat any of these as "drop silently"
+    but tests and debugging want the distinction.
+    """
+    if len(data) < _COMMON.size:
+        raise TruncatedPacketError(
+            f"datagram of {len(data)} bytes shorter than common header"
+        )
+    magic, version, ptype, _checksum, flow_id = _COMMON.unpack_from(data)
+    if magic != MAGIC:
+        raise BadMagicError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise UnsupportedVersionError(f"unsupported version {version}")
+    if not verify_checksum(data):
+        raise ChecksumMismatchError("checksum mismatch")
+    if ptype == TYPE_DATA:
+        if len(data) < DATA_HEADER_SIZE:
+            raise TruncatedPacketError(
+                f"data packet of {len(data)} bytes, need {DATA_HEADER_SIZE}"
+            )
+        seq, ts_us, rtt_us, flags, _ = _DATA.unpack_from(data, _COMMON.size)
+        return DataPacket(
+            flow_id=flow_id,
+            seq=seq,
+            send_ts_us=ts_us,
+            rtt_us=rtt_us,
+            ecn_capable=bool(flags & FLAG_ECN_CAPABLE),
+            payload=bytes(data[DATA_HEADER_SIZE:]),
+        )
+    if ptype == TYPE_FEEDBACK:
+        if len(data) < FEEDBACK_HEADER_SIZE:
+            raise TruncatedPacketError(
+                f"feedback packet of {len(data)} bytes, need {FEEDBACK_HEADER_SIZE}"
+            )
+        echo_seq, echo_ts, delay_us, p_fixed, recv_rate, flags, _ = (
+            _FEEDBACK.unpack_from(data, _COMMON.size)
+        )
+        return FeedbackPacket(
+            flow_id=flow_id,
+            echo_seq=echo_seq,
+            echo_ts_us=echo_ts,
+            delay_us=delay_us,
+            p=p_fixed / _P_SCALE,
+            recv_rate=recv_rate,
+            expedited=bool(flags & FLAG_EXPEDITED),
+        )
+    raise WireFormatError(f"unknown packet type {ptype}")

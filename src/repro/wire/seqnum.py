@@ -1,0 +1,89 @@
+"""Fixed-width sequence-number (serial) arithmetic.
+
+On the wire TFRC sequence numbers are 32-bit unsigned integers that wrap.
+Comparisons therefore follow RFC 1982 serial-number arithmetic: ``a < b``
+when moving *forward* from ``a`` to ``b`` crosses less than half the number
+space.  The simulator uses unbounded Python ints internally; these helpers
+are used at the wire boundary (:mod:`repro.wire.headers`,
+:mod:`repro.rt`) where numbers are truncated to 32 bits.
+
+All functions accept already-wrapped values in ``[0, 2**bits)``; feeding a
+value outside that range raises ``ValueError`` rather than silently
+masking, because out-of-range values at this layer indicate a bug upstream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Width of the on-wire sequence-number space.
+SEQ_SPACE_BITS = 32
+
+_MOD = 1 << SEQ_SPACE_BITS
+_HALF = _MOD // 2
+
+
+def _check(value: int, bits: int) -> int:
+    mod = 1 << bits
+    if not isinstance(value, int):
+        raise TypeError(f"sequence numbers are ints, got {type(value).__name__}")
+    if not 0 <= value < mod:
+        raise ValueError(f"sequence number {value} outside [0, 2**{bits})")
+    return value
+
+
+def seq_add(a: int, delta: int, bits: int = SEQ_SPACE_BITS) -> int:
+    """``a + delta`` wrapped into the sequence space (delta may be negative)."""
+    _check(a, bits)
+    return (a + delta) % (1 << bits)
+
+
+def seq_diff(a: int, b: int, bits: int = SEQ_SPACE_BITS) -> int:
+    """Signed forward distance from ``b`` to ``a``.
+
+    Positive when ``a`` is ahead of ``b``; the result is in
+    ``[-2**(bits-1), 2**(bits-1))``.  ``seq_diff(seq_add(x, d), x) == d``
+    for ``|d| < 2**(bits-1)``.
+    """
+    _check(a, bits)
+    _check(b, bits)
+    mod = 1 << bits
+    half = mod // 2
+    d = (a - b) % mod
+    return d - mod if d >= half else d
+
+
+def seq_lt(a: int, b: int, bits: int = SEQ_SPACE_BITS) -> bool:
+    """True when ``a`` precedes ``b`` in serial-number order."""
+    return seq_diff(a, b, bits) < 0
+
+
+def seq_lte(a: int, b: int, bits: int = SEQ_SPACE_BITS) -> bool:
+    return seq_diff(a, b, bits) <= 0
+
+
+def seq_gt(a: int, b: int, bits: int = SEQ_SPACE_BITS) -> bool:
+    return seq_diff(a, b, bits) > 0
+
+
+def seq_gte(a: int, b: int, bits: int = SEQ_SPACE_BITS) -> bool:
+    return seq_diff(a, b, bits) >= 0
+
+
+def seq_window_iter(
+    start: int, end: int, bits: int = SEQ_SPACE_BITS
+) -> Iterator[int]:
+    """Iterate sequence numbers from ``start`` (inclusive) to ``end``
+    (exclusive), following the wrap.
+
+    Raises ``ValueError`` when ``end`` is not ahead of or equal to
+    ``start`` -- a window that appears to run backwards means the caller
+    mixed up its arguments.
+    """
+    distance = seq_diff(end, start, bits)
+    if distance < 0:
+        raise ValueError(f"window end {end} precedes start {start}")
+    current = start
+    for _ in range(distance):
+        yield current
+        current = seq_add(current, 1, bits)

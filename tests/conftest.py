@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Hypothesis deadlines are disabled globally: several property tests drive
+whole simulations per example, and wall-clock deadlines make them flaky on
+loaded CI machines without adding any correctness signal.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,131 @@
+"""Tests for the playout-buffer model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.playout import PlayoutBuffer, simulate_playout
+
+
+def steady_arrivals(rate_bps, duration, packet=1000, start=0.0):
+    """A perfectly paced delivery trace at ``rate_bps``."""
+    interval = packet * 8 / rate_bps
+    out = []
+    t = start
+    while t < start + duration:
+        out.append((t, packet))
+        t += interval
+    return out
+
+
+class TestSmoothDelivery:
+    def test_no_stalls_when_delivery_matches_media_rate(self):
+        arrivals = steady_arrivals(1e6, duration=30.0)
+        stats = simulate_playout(arrivals, media_rate_bps=0.8e6,
+                                 prebuffer_seconds=2.0)
+        assert stats.rebuffer_events == 0
+        assert stats.stall_time == 0.0
+        assert stats.played_seconds > 20.0
+
+    def test_startup_delay_is_prebuffer_fill_time(self):
+        # Delivery at exactly the media rate: 2 s of media takes 2 s.
+        arrivals = steady_arrivals(1e6, duration=10.0)
+        stats = simulate_playout(arrivals, media_rate_bps=1e6,
+                                 prebuffer_seconds=2.0)
+        assert stats.startup_delay == pytest.approx(2.0, abs=0.1)
+
+    def test_faster_delivery_starts_sooner(self):
+        fast = simulate_playout(steady_arrivals(4e6, 10.0), media_rate_bps=1e6)
+        slow = simulate_playout(steady_arrivals(1.2e6, 10.0), media_rate_bps=1e6)
+        assert fast.startup_delay < slow.startup_delay
+
+    def test_never_starts_if_prebuffer_never_fills(self):
+        stats = simulate_playout([(0.0, 1000)], media_rate_bps=1e6,
+                                 prebuffer_seconds=5.0)
+        assert stats.startup_delay == float("inf")
+        assert stats.played_seconds == 0.0
+
+
+class TestStalls:
+    def test_delivery_gap_causes_rebuffer(self):
+        # 5 s of good delivery, a 5 s outage, then delivery resumes.
+        arrivals = steady_arrivals(1e6, 5.0)
+        arrivals += steady_arrivals(1e6, 5.0, start=10.0)
+        stats = simulate_playout(arrivals, media_rate_bps=1e6,
+                                 prebuffer_seconds=1.0, rebuffer_seconds=1.0)
+        assert stats.rebuffer_events >= 1
+        assert stats.stall_time > 1.0
+
+    def test_underrun_timing_recorded(self):
+        arrivals = [(0.0, 125000)]  # 1 s of media at 1 Mb/s, all at once
+        arrivals += [(20.0, 125000)]
+        stats = simulate_playout(arrivals, media_rate_bps=1e6,
+                                 prebuffer_seconds=0.5, rebuffer_seconds=0.5)
+        assert stats.rebuffer_events == 1
+        # Playback started at t=0 with 1 s buffered: underrun at t=1.
+        assert stats.stall_times[0] == pytest.approx(1.0, abs=0.01)
+
+    def test_stall_ratio(self):
+        arrivals = [(0.0, 125000), (20.0, 2500000)]
+        stats = simulate_playout(arrivals, media_rate_bps=1e6,
+                                 prebuffer_seconds=0.5, rebuffer_seconds=0.5,
+                                 end_time=30.0)
+        assert 0.0 < stats.stall_ratio < 1.0
+        assert stats.stall_time == pytest.approx(19.0, abs=0.1)
+
+    def test_drain_past_last_arrival_with_end_time(self):
+        arrivals = [(0.0, 1_250_000)]  # 10 s of media
+        stats = simulate_playout(arrivals, media_rate_bps=1e6,
+                                 prebuffer_seconds=1.0, end_time=30.0)
+        assert stats.played_seconds == pytest.approx(10.0, abs=0.01)
+        assert stats.rebuffer_events == 1  # ran dry at t=10
+
+
+class TestValidation:
+    def test_bad_media_rate(self):
+        with pytest.raises(ValueError):
+            PlayoutBuffer(media_rate_bps=0.0)
+
+    def test_negative_buffer_targets(self):
+        with pytest.raises(ValueError):
+            PlayoutBuffer(1e6, prebuffer_seconds=-1.0)
+
+    def test_negative_bytes(self):
+        buffer = PlayoutBuffer(1e6)
+        with pytest.raises(ValueError):
+            buffer.feed(0.0, -5)
+
+    def test_time_backwards_rejected(self):
+        buffer = PlayoutBuffer(1e6)
+        buffer.feed(5.0, 1000)
+        with pytest.raises(ValueError):
+            buffer.feed(4.0, 1000)
+
+    def test_unsorted_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_playout([(2.0, 10), (1.0, 10)], media_rate_bps=1e6)
+
+
+class TestInvariants:
+    @given(
+        arrivals=st.lists(
+            st.tuples(st.floats(0, 100), st.integers(0, 100_000)),
+            max_size=60,
+        ).map(lambda items: sorted(items, key=lambda x: x[0])),
+        media_rate=st.floats(1e4, 1e7),
+    )
+    def test_accounting_conserves_time(self, arrivals, media_rate):
+        stats = simulate_playout(arrivals, media_rate_bps=media_rate,
+                                 end_time=200.0)
+        # Played media cannot exceed delivered media.
+        delivered_seconds = sum(b for _, b in arrivals) * 8 / media_rate
+        assert stats.played_seconds <= delivered_seconds + 1e-6
+        assert stats.stall_time >= 0
+        assert stats.rebuffer_events == len(stats.stall_times)
+
+    @given(rate=st.floats(2e5, 5e6))
+    def test_overprovisioned_delivery_never_stalls(self, rate):
+        arrivals = steady_arrivals(rate * 2, duration=20.0)
+        stats = simulate_playout(arrivals, media_rate_bps=rate,
+                                 prebuffer_seconds=1.0)
+        assert stats.rebuffer_events == 0

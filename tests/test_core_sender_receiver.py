@@ -1,0 +1,209 @@
+"""TFRC sender/receiver behaviour over controlled paths."""
+
+import pytest
+
+from repro.core import TfrcFlow
+from repro.core.equations import tcp_response_rate
+from repro.core.sender import T_MBI, TfrcSender
+from repro.net.path import LossyPath, bernoulli_loss, periodic_loss
+from repro.net.monitor import FlowMonitor
+from repro.sim.engine import Simulator
+
+import numpy as np
+
+
+def run_tfrc(loss_model=None, duration=30.0, rtt=0.1, bw=None, **kwargs):
+    sim = Simulator()
+    forward = LossyPath(sim, delay=rtt / 2, loss_model=loss_model, bandwidth_bps=bw)
+    reverse = LossyPath(sim, delay=rtt / 2)
+    monitor = FlowMonitor()
+    flow = TfrcFlow(sim, "t", forward, reverse, on_data=monitor.on_packet, **kwargs)
+    flow.start()
+    sim.run(until=duration)
+    return flow, monitor, sim
+
+
+class TestSlowStart:
+    def test_rate_doubles_until_loss(self):
+        flow, _, _ = run_tfrc(duration=2.0)
+        # From 1 pkt / 0.5 s, several doublings must have occurred.
+        assert flow.sender.rate > 8 * flow.sender.packet_size
+        assert flow.sender.in_slow_start
+
+    def test_loss_terminates_slow_start(self):
+        flow, _, _ = run_tfrc(loss_model=periodic_loss(100), duration=10.0)
+        assert not flow.sender.in_slow_start
+
+    def test_slow_start_capped_by_bottleneck(self):
+        """The receive-rate cap limits overshoot to ~2x the link rate."""
+        bw = 1e6  # 1 Mb/s
+        flow, monitor, _ = run_tfrc(duration=5.0, bw=bw)
+        # Once the pipe saturates, the allowed rate must not exceed ~2x
+        # the bottleneck (plus one doubling step of slack).
+        assert flow.sender.rate * 8 <= 2.5 * bw
+
+    def test_history_seeded_after_first_loss(self):
+        flow, _, _ = run_tfrc(loss_model=periodic_loss(200), duration=6.0)
+        assert flow.receiver.intervals.loss_events >= 1
+        assert flow.receiver.loss_event_rate() > 0
+
+
+class TestSteadyState:
+    def test_rate_tracks_equation_under_periodic_loss(self):
+        period = 100
+        flow, monitor, sim = run_tfrc(loss_model=periodic_loss(period), duration=60.0)
+        sender = flow.sender
+        p = flow.receiver.loss_event_rate()
+        assert p == pytest.approx(1.0 / period, rel=0.35)
+        expected = tcp_response_rate(
+            sender.packet_size, sender.srtt, p, 4 * sender.srtt
+        )
+        assert sender.rate == pytest.approx(expected, rel=0.35)
+
+    def test_higher_loss_means_lower_rate(self):
+        high, _, _ = run_tfrc(loss_model=periodic_loss(20), duration=40.0)
+        low, _, _ = run_tfrc(loss_model=periodic_loss(500), duration=40.0)
+        assert high.sender.rate < low.sender.rate
+
+    def test_srtt_converges_to_path_rtt(self):
+        flow, _, _ = run_tfrc(loss_model=periodic_loss(100), duration=20.0, rtt=0.08)
+        assert flow.sender.srtt == pytest.approx(0.08, rel=0.1)
+
+    def test_bernoulli_loss_rate_measured_correctly(self):
+        rng = np.random.default_rng(4)
+        flow, _, _ = run_tfrc(
+            loss_model=bernoulli_loss(0.02, rng), duration=60.0
+        )
+        # Loss-event rate <= packet loss rate, same order of magnitude.
+        p = flow.receiver.loss_event_rate()
+        assert 0.005 < p < 0.05
+
+    def test_smooth_rate_under_stable_loss(self):
+        """CoV of the allowed rate in steady state must be small."""
+        flow, _, _ = run_tfrc(loss_model=periodic_loss(100), duration=60.0)
+        rates = [r for t, r in flow.sender.rate_history if t > 30.0]
+        mean = np.mean(rates)
+        assert np.std(rates) / mean < 0.15
+
+
+class TestNoFeedbackTimer:
+    def test_rate_halves_without_feedback(self):
+        """Cutting the return path must halve the rate repeatedly.
+
+        Periodic forward loss bounds the pre-blackout rate (and keeps the
+        5 s warm-up cheap to simulate).
+        """
+        sim = Simulator()
+        forward = LossyPath(sim, delay=0.05, loss_model=periodic_loss(100))
+        blackout = {"on": False}
+        reverse = LossyPath(
+            sim, delay=0.05,
+            loss_model=lambda p, now: blackout["on"],
+        )
+        flow = TfrcFlow(sim, "t", forward, reverse)
+        flow.start()
+        sim.run(until=5.0)
+        rate_before = flow.sender.rate
+        blackout["on"] = True
+        sim.run(until=15.0)
+        assert flow.sender.rate < rate_before / 4
+
+    def test_rate_floor_one_packet_per_64s(self):
+        # The halving cadence stretches as the rate falls (the timer is
+        # max(4 RTT, 2 packets), i.e. 64 s at the floor), so reaching the
+        # floor from the initial rate takes ~130 simulated seconds.
+        sim = Simulator()
+        forward = LossyPath(sim, delay=0.05)
+        reverse = LossyPath(sim, delay=0.05, loss_model=lambda p, n: True)
+        flow = TfrcFlow(sim, "t", forward, reverse)
+        flow.start()
+        sim.run(until=250.0)
+        assert flow.sender.rate == pytest.approx(flow.sender.packet_size / T_MBI)
+
+
+class TestInterpacketSpacing:
+    def test_adjustment_uses_sqrt_ratio(self):
+        sim = Simulator()
+        sender = TfrcSender(sim, "t", send_packet=lambda p: None,
+                            interpacket_adjustment=True)
+        sender.rate = 10_000.0
+        sender._latest_rtt_sample = 0.16
+        sender._sqrt_rtt_ewma = 0.2  # EWMA of sqrt(rtt): implies mean 0.04
+        base = sender.packet_size / sender.rate
+        assert sender._interpacket_interval() == pytest.approx(
+            base * (0.16 ** 0.5) / 0.2
+        )
+
+    def test_adjustment_disabled_gives_plain_spacing(self):
+        sim = Simulator()
+        sender = TfrcSender(sim, "t", send_packet=lambda p: None,
+                            interpacket_adjustment=False)
+        sender.rate = 10_000.0
+        sender._latest_rtt_sample = 0.4
+        sender._sqrt_rtt_ewma = 0.1
+        assert sender._interpacket_interval() == pytest.approx(
+            sender.packet_size / sender.rate
+        )
+
+
+class TestQuiescence:
+    def test_quiescent_sender_restarts_slow(self):
+        sim = Simulator()
+        forward = LossyPath(sim, delay=0.05, loss_model=periodic_loss(100))
+        reverse = LossyPath(sim, delay=0.05)
+        flow = TfrcFlow(sim, "t", forward, reverse, quiescence_aware=True)
+        flow.start()
+        sim.run(until=20.0)
+        rate_active = flow.sender.rate
+        flow.sender.set_app_active(False)
+        sim.run(until=25.0)
+        flow.sender.set_app_active(True)
+        # Restart rate limited to ~2 packets per RTT, far below steady state.
+        assert flow.sender.rate <= max(
+            2.2 * flow.sender.packet_size / flow.sender.srtt,
+            flow.sender.packet_size / T_MBI,
+        )
+        assert flow.sender.rate < rate_active
+
+    def test_non_quiescence_aware_banks_rate(self):
+        sim = Simulator()
+        forward = LossyPath(sim, delay=0.05, loss_model=periodic_loss(100))
+        reverse = LossyPath(sim, delay=0.05)
+        flow = TfrcFlow(sim, "t", forward, reverse, quiescence_aware=False)
+        flow.start()
+        sim.run(until=20.0)
+        rate_active = flow.sender.rate
+        flow.sender.set_app_active(False)
+        sim.run(until=21.0)
+        flow.sender.set_app_active(True)
+        # Without the extension the pre-idle rate is kept (modulo the
+        # no-feedback halving that may fire during the idle second).
+        assert flow.sender.rate >= rate_active / 4
+
+
+class TestFeedback:
+    def test_receiver_reports_once_per_rtt(self):
+        # Rare loss bounds slow start (a clean uncapped pipe would double
+        # forever); after it the receiver must keep reporting every RTT.
+        flow, _, sim = run_tfrc(
+            loss_model=periodic_loss(2000), duration=10.0, rtt=0.1
+        )
+        # ~10 s / 0.1 s = 100 reports expected, within a loose band
+        # (expedited reports add a few).
+        assert 60 <= flow.receiver.feedback_sent <= 170
+
+    def test_expedited_feedback_on_loss(self):
+        flow, _, _ = run_tfrc(loss_model=periodic_loss(50), duration=5.0)
+        assert flow.receiver.feedback_sent > 30  # regular + expedited
+
+    def test_sparser_feedback_interval_reduces_report_count(self):
+        """The feedback-frequency ablation knob thins regular reports."""
+        dense, _, _ = run_tfrc(loss_model=periodic_loss(2000), duration=10.0,
+                               rtt=0.1)
+        sparse, _, _ = run_tfrc(loss_model=periodic_loss(2000), duration=10.0,
+                                rtt=0.1, feedback_interval_rtts=4.0)
+        assert sparse.receiver.feedback_sent < dense.receiver.feedback_sent / 2
+
+    def test_feedback_interval_validation(self):
+        with pytest.raises(ValueError):
+            run_tfrc(duration=0.1, feedback_interval_rtts=0.0)

@@ -1,0 +1,184 @@
+"""Tests for the experiment harness: each figure module runs (at reduced
+scale) and produces results with the paper's qualitative shape."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig02_loss_interval,
+    fig03_oscillation,
+    fig05_loss_event_fraction,
+    fig19_increase,
+    fig20_halving,
+)
+from repro.experiments import internet
+from repro.analysis.predictor import predictor_errors
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig02_loss_interval.run(duration=16.0)
+
+    def test_estimate_stable_during_constant_loss(self, result):
+        stable = result.series_between(4.0, 5.5, "estimated_interval")
+        assert stable
+        assert (max(stable) - min(stable)) / np.mean(stable) < 0.2
+
+    def test_p_tracks_each_phase(self, result):
+        p_high = result.series_between(7.5, 9.0, "loss_event_rate")
+        assert np.mean(p_high) == pytest.approx(0.1, rel=0.5)
+
+    def test_rate_reduced_rapidly_on_congestion(self, result):
+        summary = fig02_loss_interval.summarize(result)
+        assert summary["rate_drop_factor"] > 2.0
+
+    def test_rate_recovers_smoothly_without_steps(self, result):
+        """After t=9 the rate increases without step jumps (paper: 'no step
+        increases even when older loss intervals are excluded')."""
+        pairs = [
+            (t, r)
+            for t, r in zip(result.times, result.tx_rate_bytes)
+            if 10.0 <= t <= 16.0
+        ]
+        rates = [r for _, r in pairs]
+        jumps = [(b - a) / a for a, b in zip(rates, rates[1:]) if a > 0]
+        assert jumps
+        assert max(jumps) < 0.25  # no >25% step in 0.1 s
+
+
+class TestFig03:
+    def test_adjustment_damps_oscillation(self):
+        plain = fig03_oscillation.run_one(
+            buffer_packets=8, interpacket_adjustment=False, duration=40.0
+        )
+        damped = fig03_oscillation.run_one(
+            buffer_packets=8, interpacket_adjustment=True, duration=40.0
+        )
+        assert damped[1] < plain[1]  # CoV falls
+
+    def test_throughput_not_sacrificed(self):
+        plain = fig03_oscillation.run_one(8, False, duration=40.0)
+        damped = fig03_oscillation.run_one(8, True, duration=40.0)
+        assert damped[2] > 0.5 * plain[2]
+
+    def test_sweep_collects_all_buffers(self):
+        result = fig03_oscillation.run(buffer_sizes=(4, 16), duration=20.0)
+        assert set(result.cov_by_buffer) == {4, 16}
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05_loss_event_fraction.run(
+            p_loss_values=np.linspace(0.01, 0.25, 13), monte_carlo=False
+        )
+
+    def test_event_fraction_never_exceeds_loss_fraction(self, result):
+        for multiplier, curve in result.p_event_by_multiplier.items():
+            for p_loss, p_event in zip(result.p_loss_values, curve):
+                assert p_event <= p_loss + 1e-12
+
+    def test_moderate_gap_for_equation_flow(self, result):
+        """Paper: at most ~10% difference for the 1x flow."""
+        assert result.max_relative_gap(1.0) < 0.15
+
+    def test_faster_flow_larger_gap(self, result):
+        assert result.max_relative_gap(2.0) >= result.max_relative_gap(0.5)
+
+    def test_small_gap_at_high_loss(self, result):
+        """At high loss the window shrinks to ~1 pkt/RTT: the curves merge."""
+        curve = result.p_event_by_multiplier[1.0]
+        last_gap = (result.p_loss_values[-1] - curve[-1]) / result.p_loss_values[-1]
+        assert last_gap < 0.05
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig19_increase.run(duration=13.0)
+
+    def test_no_increase_until_interval_exceeds_average(self, result):
+        """Paper: the rate stays flat until ~0.75 s after loss stops."""
+        start = result.increase_start_time()
+        assert result.loss_stop_time + 0.3 <= start <= result.loss_stop_time + 1.5
+
+    def test_normal_increase_near_paper_bound(self, result):
+        start = result.increase_start_time()
+        slope = result.mean_slope(start, start + 0.7)
+        assert 0.05 < slope < 0.20  # paper: ~0.12-0.14
+
+    def test_discounted_increase_bounded(self, result):
+        slope = result.mean_slope(
+            result.loss_stop_time + 2.0, result.times[-1]
+        )
+        assert slope < 0.40  # paper: <= ~0.28-0.31 with Eq. (1)
+
+    def test_discounting_accelerates_recovery(self):
+        with_disc = fig19_increase.run(duration=13.0, history_discounting=True)
+        without = fig19_increase.run(duration=13.0, history_discounting=False)
+        assert with_disc.rate_pkts_per_rtt[-1] > without.rate_pkts_per_rtt[-1]
+
+    def test_analytic_bounds_exposed(self):
+        bounds = fig19_increase.analytic_bounds()
+        assert bounds["delta_normal_simple"] == pytest.approx(0.12, abs=0.01)
+        assert bounds["delta_discounted_simple"] == pytest.approx(0.28, abs=0.02)
+
+
+class TestFig20:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig20_halving.run()
+
+    def test_rate_halves_within_three_to_eight_rtts(self, result):
+        n = result.rtts_to_halve()
+        assert n is not None
+        assert 3.0 <= n <= 8.5  # paper: 3..8, typically 5
+
+    def test_appendix_lower_bound_five_at_low_drop_rates(self):
+        """A.2: at low drop rates, at least ~5 RTTs are required."""
+        halving = fig20_halving.run(initial_period=200)
+        n = halving.rtts_to_halve()
+        assert n is not None and n >= 4.5
+
+    def test_sweep_within_paper_band(self):
+        # Paper: 3-8 RTTs across drop rates.  We measure up to ~9.5 at
+        # p = 0.04 (recorded in EXPERIMENTS.md); assert the same decade.
+        sweep = fig20_halving.run_sweep(initial_periods=(100, 25, 10))
+        defined = sweep.defined()
+        assert len(defined) == 3
+        for _, n in defined:
+            assert 2.5 <= n <= 10.0
+
+
+class TestInternetPaths:
+    def test_profiles_cover_paper_paths(self):
+        # The paper's five named paths, plus the deliberately overloaded
+        # Nokia variant added for the section 4.3 overload-regime study.
+        assert set(internet.PATHS) >= {
+            "ucl", "mannheim", "umass_linux", "umass_solaris", "nokia"
+        }
+        assert "nokia_overloaded" in internet.PATHS
+
+    def test_ucl_path_reasonable_fairness(self):
+        result = internet.run_path(internet.PATHS["ucl"], duration=40.0)
+        mean_tcp = np.mean(result.tcp_throughputs_bps)
+        assert result.tfrc_throughput_bps > 0.2 * mean_tcp
+        assert result.tfrc_throughput_bps < 5.0 * mean_tcp
+
+    def test_tfrc_smoother_on_well_behaved_path(self):
+        result = internet.run_path(internet.PATHS["umass_linux"], duration=40.0)
+        tau = max(result.cov_tfrc_by_tau)
+        assert result.cov_tfrc_by_tau[tau] <= result.cov_tcp_by_tau[tau] + 0.25
+
+
+class TestPredictorMethodology:
+    def test_errors_finite_on_synthetic_trace(self):
+        rng = np.random.default_rng(0)
+        trace = rng.exponential(100.0, size=200).tolist()
+        for history in (2, 8, 32):
+            mean_err, std_err = predictor_errors(trace, history, decreasing=True)
+            assert math.isfinite(mean_err) and mean_err >= 0
+            assert math.isfinite(std_err)

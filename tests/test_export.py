@@ -1,0 +1,69 @@
+"""Tests for the CSV figure-data exporters."""
+
+import csv
+import os
+
+import pytest
+
+from repro.experiments import export
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = export.write_csv(
+            str(tmp_path / "x.csv"), ["a", "b"], [(1, 2), (3, 4)]
+        )
+        rows = read_csv(path)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_directories(self, tmp_path):
+        path = export.write_csv(
+            str(tmp_path / "deep" / "dir" / "x.csv"), ["a"], [(1,)]
+        )
+        assert os.path.exists(path)
+
+
+class TestExporters:
+    def test_fig02_export(self, tmp_path):
+        paths = export.export_fig02(str(tmp_path), duration=8.0)
+        assert len(paths) == 1
+        rows = read_csv(paths[0])
+        assert rows[0] == [
+            "time_s", "current_interval_pkts", "estimated_interval_pkts",
+            "loss_event_rate", "tx_rate_bytes_per_s",
+        ]
+        assert len(rows) > 10
+        # Every data row parses as floats.
+        for row in rows[1:5]:
+            [float(v) for v in row]
+
+    def test_fig05_export(self, tmp_path):
+        paths = export.export_fig05(str(tmp_path))
+        rows = read_csv(paths[0])
+        assert rows[0][0] == "p_loss"
+        assert len(rows[0]) == 4  # p_loss + three multipliers
+        values = [float(v) for v in rows[1]]
+        assert values[1] <= values[0]  # p_event <= p_loss
+
+    def test_fig19_and_20_export(self, tmp_path):
+        paths = export.export_fig19(str(tmp_path))
+        rows = read_csv(paths[0])
+        assert len(rows) > 50
+        paths = export.export_fig20(str(tmp_path))
+        assert len(paths) == 2
+        sweep_rows = read_csv(paths[1])
+        assert sweep_rows[0] == ["drop_rate", "rtts_to_halve"]
+
+    def test_cli_single(self, tmp_path, capsys):
+        assert export.main(["fig02", str(tmp_path)]) == 0
+        printed = capsys.readouterr().out.strip().splitlines()
+        assert printed and all(os.path.exists(p) for p in printed)
+
+    def test_cli_rejects_unknown(self, tmp_path):
+        with pytest.raises(SystemExit):
+            export.main(["fig99", str(tmp_path)])

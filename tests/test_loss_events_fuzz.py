@@ -1,0 +1,128 @@
+"""Property/fuzz tests for the loss-event detector.
+
+A simple reference model is checked against the production detector across
+randomly generated arrival patterns (losses, bursts, reordering).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.loss_events import LossEventDetector
+
+
+def deliver_pattern(detector, delivered, spacing=0.01, start=0.0):
+    """Feed a list of sequence numbers (in arrival order) at fixed spacing."""
+    t = start
+    for seq in delivered:
+        detector.on_arrival(seq, t)
+        t += spacing
+    return t
+
+
+class TestAgainstReferenceCounts:
+    @given(
+        st.lists(st.booleans(), min_size=20, max_size=300),
+        st.floats(min_value=0.001, max_value=0.2),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_loss_counted_once(self, keep_mask, rtt):
+        """Without reordering, the detector's loss count equals the number
+        of dropped packets whose holes matured (3 later arrivals)."""
+        detector = LossEventDetector(rtt_fn=lambda: rtt, reorder_tolerance=3)
+        delivered = [i for i, keep in enumerate(keep_mask) if keep]
+        if len(delivered) < 5:
+            return
+        deliver_pattern(detector, delivered)
+        lost = [i for i, keep in enumerate(keep_mask) if not keep]
+        matured = [
+            seq
+            for seq in lost
+            if seq < max(delivered) and sum(1 for d in delivered if d > seq) >= 3
+        ]
+        assert detector.packets_lost == len(matured)
+
+    @given(st.lists(st.booleans(), min_size=20, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_events_never_exceed_losses(self, keep_mask):
+        detector = LossEventDetector(rtt_fn=lambda: 0.05, reorder_tolerance=3)
+        delivered = [i for i, keep in enumerate(keep_mask) if keep]
+        if len(delivered) < 5:
+            return
+        deliver_pattern(detector, delivered)
+        assert len(detector.events) <= max(1, detector.packets_lost)
+
+    @given(
+        st.integers(min_value=2, max_value=50),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_burst_within_rtt_is_single_event(self, burst, rtt):
+        """Any contiguous burst of losses (followed by arrivals within one
+        RTT) collapses into one loss event."""
+        detector = LossEventDetector(rtt_fn=lambda: rtt, reorder_tolerance=3)
+        delivered = list(range(10)) + list(range(10 + burst, 20 + burst))
+        # Tight spacing: whole trace well inside one RTT per gap.
+        deliver_pattern(detector, delivered, spacing=rtt / 100)
+        assert detector.packets_lost == burst
+        assert len(detector.events) == 1
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_reordering_never_creates_loss(self, data):
+        """Arbitrary local reordering (swap adjacent arrivals) of a complete
+        sequence must not declare losses, given tolerance 3."""
+        n = data.draw(st.integers(min_value=10, max_value=100))
+        order = list(range(n))
+        swaps = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 2), max_size=20)
+        )
+        for index in swaps:
+            order[index], order[index + 1] = order[index + 1], order[index]
+        detector = LossEventDetector(rtt_fn=lambda: 0.05, reorder_tolerance=3)
+        deliver_pattern(detector, order)
+        assert detector.packets_lost == 0
+        assert detector.events == []
+
+    def test_three_position_reorder_tolerated(self):
+        """A packet late by three positions still fills its hole in time."""
+        detector = LossEventDetector(rtt_fn=lambda: 0.05, reorder_tolerance=3)
+        deliver_pattern(detector, [0, 2, 3, 1, 4, 5, 6, 7])
+        assert detector.packets_lost == 0
+
+    def test_four_position_reorder_declared(self):
+        """Beyond the tolerance, a late packet is (wrongly but by design)
+        counted as lost -- matching TCP's 3-dupACK behaviour."""
+        detector = LossEventDetector(rtt_fn=lambda: 0.05, reorder_tolerance=3)
+        deliver_pattern(detector, [0, 2, 3, 4, 5, 1, 6, 7])
+        assert detector.packets_lost == 1
+
+
+class TestIntervalAccounting:
+    @given(
+        st.lists(st.integers(min_value=5, max_value=200), min_size=2, max_size=20)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_closed_intervals_match_gap_structure(self, interval_lengths):
+        """Drop exactly one packet every `length` packets (far apart in
+        time): each closed interval equals the sequence distance between
+        consecutive dropped packets."""
+        detector = LossEventDetector(rtt_fn=lambda: 0.0001, reorder_tolerance=1)
+        seq = 0
+        t = 0.0
+        drop_seqs = []
+        for length in interval_lengths:
+            for _ in range(length - 1):
+                detector.on_arrival(seq, t)
+                seq += 1
+                t += 1.0  # long spacing: every loss is its own event
+            drop_seqs.append(seq)
+            seq += 1  # dropped
+        # flush with trailing arrivals
+        for _ in range(3):
+            detector.on_arrival(seq, t)
+            seq += 1
+            t += 1.0
+        closed = [e.closed_interval for e in detector.events[1:]]
+        expected = [b - a for a, b in zip(drop_seqs, drop_seqs[1:])]
+        assert closed == expected

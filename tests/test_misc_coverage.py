@@ -1,0 +1,81 @@
+"""Coverage for smaller behaviours not exercised elsewhere."""
+
+import pytest
+
+from repro.experiments import fig06_fairness_grid as fig06
+from repro.experiments import fig14_queue_dynamics as fig14
+from repro.net.path import LossyPath, periodic_loss
+from repro.sim.engine import Simulator
+from repro.tcp.flow import TcpFlow
+
+
+class TestDelayedAckFlow:
+    def test_end_to_end_with_delayed_acks(self):
+        sim = Simulator()
+        forward = LossyPath(sim, delay=0.05)
+        reverse = LossyPath(sim, delay=0.05)
+        received = []
+        flow = TcpFlow(
+            sim, "t", forward, reverse, variant="sack", delayed_ack=True,
+            on_data=lambda t, p: received.append(p.seq),
+        )
+        flow.start()
+        sim.run(until=5.0)
+        assert len(received) > 50
+        # Delayed ACKs: roughly one ACK per two data packets.
+        assert flow.sink.acks_sent < 0.8 * flow.sink.packets_received
+
+    def test_delayed_ack_slows_window_growth(self):
+        def run(delayed):
+            sim = Simulator()
+            forward = LossyPath(sim, delay=0.05)
+            reverse = LossyPath(sim, delay=0.05)
+            flow = TcpFlow(sim, "t", forward, reverse, delayed_ack=delayed,
+                           initial_ssthresh=10_000)
+            flow.start()
+            sim.run(until=1.0)
+            return flow.sender.cwnd
+
+        assert run(delayed=True) < run(delayed=False)
+
+
+class TestVariantRelativeBehaviour:
+    def test_sack_beats_tahoe_under_burst_loss(self):
+        """SACK repairs multi-loss windows without collapsing to cwnd=1;
+        Tahoe restarts from scratch every time."""
+
+        def run(variant):
+            sim = Simulator()
+            drop = {"pending": set(range(60, 75, 2))}
+
+            def burst(packet, now):
+                if packet.is_data and packet.seq in drop["pending"]:
+                    drop["pending"].discard(packet.seq)
+                    return True
+                return False
+
+            forward = LossyPath(sim, delay=0.05, loss_model=burst)
+            reverse = LossyPath(sim, delay=0.05)
+            received = []
+            flow = TcpFlow(sim, "t", forward, reverse, variant=variant,
+                           on_data=lambda t, p: received.append(p.seq))
+            flow.start()
+            sim.run(until=10.0)
+            return len(received)
+
+        assert run("sack") >= run("tahoe")
+
+
+class TestExperimentValidation:
+    def test_fig06_odd_flow_count_rejected(self):
+        with pytest.raises(ValueError):
+            fig06.run_cell(15e6, 3, "red", duration=1.0)
+
+    def test_fig14_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            fig14.run_one("udp")
+
+    def test_fig06_cell_lookup(self):
+        result = fig06.Fig06Result(cells=[])
+        with pytest.raises(KeyError):
+            result.cell(15e6, 32, "red")

@@ -1,0 +1,192 @@
+"""Unit tests for links, paths and loss models."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.path import (
+    LossyPath,
+    Path,
+    bernoulli_loss,
+    periodic_loss,
+    scheduled_loss,
+)
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+
+
+def make_packet(seq=0, size=1000, flow="f"):
+    return Packet(flow_id=flow, seq=seq, size=size)
+
+
+def make_link(sim, bw=8e6, delay=0.01, capacity=10):
+    return Link(sim, bw, delay, DropTailQueue(capacity))
+
+
+class TestLink:
+    def test_delivery_time_is_tx_plus_propagation(self):
+        sim = Simulator()
+        link = make_link(sim, bw=8e6, delay=0.01)  # 1000B => 1 ms tx
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.send(make_packet())
+        sim.run()
+        assert arrivals == [pytest.approx(0.011)]
+
+    def test_serialization_spaces_back_to_back_packets(self):
+        sim = Simulator()
+        link = make_link(sim, bw=8e6, delay=0.0)
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.send(make_packet(0))
+        link.send(make_packet(1))
+        sim.run()
+        assert arrivals == [pytest.approx(0.001), pytest.approx(0.002)]
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        link = make_link(sim, capacity=2)
+        link.connect(lambda p: None)
+        results = [link.send(make_packet(i)) for i in range(5)]
+        # First packet starts transmitting immediately; two fit in the queue.
+        assert results == [True, True, True, False, False]
+
+    def test_send_without_receiver_raises(self):
+        sim = Simulator()
+        link = make_link(sim)
+        with pytest.raises(RuntimeError):
+            link.send(make_packet())
+
+    def test_counters(self):
+        sim = Simulator()
+        link = make_link(sim)
+        link.connect(lambda p: None)
+        for i in range(3):
+            link.send(make_packet(i))
+        sim.run()
+        assert link.packets_forwarded == 3
+        assert link.bytes_forwarded == 3000
+
+    def test_utilization_accumulates_busy_time(self):
+        sim = Simulator()
+        link = make_link(sim, bw=8e6)
+        link.connect(lambda p: None)
+        for i in range(4):
+            link.send(make_packet(i))
+        sim.run()
+        assert link.utilization_seconds == pytest.approx(0.004)
+
+    def test_fifo_across_flows(self):
+        sim = Simulator()
+        link = make_link(sim, capacity=100)
+        order = []
+        link.connect(lambda p: order.append((p.flow_id, p.seq)))
+        link.send(make_packet(0, flow="a"))
+        link.send(make_packet(0, flow="b"))
+        link.send(make_packet(1, flow="a"))
+        sim.run()
+        assert order == [("a", 0), ("b", 0), ("a", 1)]
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, 0, 0.01, DropTailQueue(1))
+        with pytest.raises(ValueError):
+            Link(sim, 1e6, -0.1, DropTailQueue(1))
+
+
+class TestPath:
+    def test_chains_links(self):
+        sim = Simulator()
+        first = make_link(sim, delay=0.01)
+        second = make_link(sim, delay=0.02)
+        path = Path([first, second])
+        arrivals = []
+        path.connect(lambda p: arrivals.append(sim.now))
+        path.send(make_packet())
+        sim.run()
+        # 1 ms tx + 10 ms + 1 ms tx + 20 ms
+        assert arrivals == [pytest.approx(0.032)]
+
+    def test_min_bandwidth_and_delay(self):
+        sim = Simulator()
+        path = Path([make_link(sim, bw=8e6, delay=0.01), make_link(sim, bw=4e6, delay=0.02)])
+        assert path.min_bandwidth_bps == 4e6
+        assert path.base_delay == pytest.approx(0.03)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Path([])
+
+
+class TestLossModels:
+    def test_periodic_loss_every_nth(self):
+        model = periodic_loss(3)
+        outcomes = [model(make_packet(i), 0.0) for i in range(9)]
+        assert outcomes == [False, False, True] * 3
+
+    def test_periodic_ignores_non_data(self):
+        from repro.net.packet import PacketType
+
+        model = periodic_loss(2)
+        ack = Packet(flow_id="f", seq=0, size=40, ptype=PacketType.ACK)
+        assert not any(model(ack, 0.0) for _ in range(10))
+
+    def test_bernoulli_rate_approximately_correct(self):
+        rng = np.random.default_rng(3)
+        model = bernoulli_loss(0.1, rng)
+        losses = sum(model(make_packet(i), 0.0) for i in range(20_000))
+        assert 0.08 < losses / 20_000 < 0.12
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_loss(1.0, np.random.default_rng(0))
+
+    def test_scheduled_loss_switches_models(self):
+        always = lambda p, t: True
+        never = lambda p, t: False
+        model = scheduled_loss([(0.0, never), (5.0, always)])
+        assert not model(make_packet(), 1.0)
+        assert model(make_packet(), 6.0)
+
+    def test_scheduled_requires_increasing_times(self):
+        never = lambda p, t: False
+        with pytest.raises(ValueError):
+            scheduled_loss([(5.0, never), (1.0, never)])
+
+
+class TestLossyPath:
+    def test_fixed_delay_delivery(self):
+        sim = Simulator()
+        path = LossyPath(sim, delay=0.05)
+        arrivals = []
+        path.connect(lambda p: arrivals.append(sim.now))
+        path.send(make_packet())
+        sim.run()
+        assert arrivals == [pytest.approx(0.05)]
+
+    def test_loss_model_applied(self):
+        sim = Simulator()
+        path = LossyPath(sim, delay=0.01, loss_model=periodic_loss(2))
+        arrivals = []
+        path.connect(lambda p: arrivals.append(p.seq))
+        for i in range(6):
+            path.send(make_packet(i))
+        sim.run()
+        assert arrivals == [0, 2, 4]
+        assert path.packets_dropped == 3
+
+    def test_bandwidth_adds_serialization(self):
+        sim = Simulator()
+        path = LossyPath(sim, delay=0.01, bandwidth_bps=8e6)
+        arrivals = []
+        path.connect(lambda p: arrivals.append(sim.now))
+        path.send(make_packet())
+        sim.run()
+        assert arrivals == [pytest.approx(0.011)]
+
+    def test_send_without_receiver_raises(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            LossyPath(sim, delay=0.01).send(make_packet())

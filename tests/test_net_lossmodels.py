@@ -1,0 +1,152 @@
+"""Tests for the Gilbert-Elliott, trace, and rate-limited loss models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.lossmodels import (
+    GilbertElliottLoss,
+    TraceLoss,
+    gilbert_elliott_from_rate,
+    loss_run_lengths,
+    rate_limited_loss,
+)
+from repro.net.packet import Packet, PacketType
+
+
+def data_packet(seq=0):
+    return Packet(flow_id="f", seq=seq, size=1000)
+
+
+def ack_packet():
+    return Packet(flow_id="f", seq=0, size=40, ptype=PacketType.ACK)
+
+
+def run_model(model, n, start_seq=0):
+    return [model(data_packet(start_seq + i), i * 0.01) for i in range(n)]
+
+
+class TestGilbertElliott:
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(1.5, 0.5, 0, 1, rng)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.0, 0.0, 0, 1, rng)
+
+    def test_stationary_probability(self):
+        model = GilbertElliottLoss(0.02, 0.18, 0.0, 1.0,
+                                   np.random.default_rng(0))
+        assert model.stationary_bad_probability == pytest.approx(0.1)
+        assert model.stationary_loss_rate == pytest.approx(0.1)
+        assert model.mean_burst_length == pytest.approx(1 / 0.18)
+
+    def test_long_run_loss_rate_matches_stationary(self):
+        model = GilbertElliottLoss(0.05, 0.45, 0.0, 1.0,
+                                   np.random.default_rng(42))
+        drops = run_model(model, 60000)
+        measured = sum(drops) / len(drops)
+        assert measured == pytest.approx(model.stationary_loss_rate, rel=0.15)
+
+    def test_burstier_than_bernoulli(self):
+        """Same long-run rate, but drops arrive in runs."""
+        rng = np.random.default_rng(7)
+        bursty = gilbert_elliott_from_rate(0.05, mean_burst_length=5, rng=rng)
+        drops = run_model(bursty, 50000)
+        runs = loss_run_lengths(drops)
+        assert np.mean(runs) > 2.5  # Bernoulli at 5% would give ~1.05
+
+    def test_non_data_packets_pass(self):
+        model = GilbertElliottLoss(1.0, 0.0, 1.0, 1.0,
+                                   np.random.default_rng(0))
+        assert model(ack_packet(), 0.0) is False
+
+    def test_from_rate_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gilbert_elliott_from_rate(0.0, 3, rng)
+        with pytest.raises(ValueError):
+            gilbert_elliott_from_rate(0.5, 3, rng, loss_bad=0.4)
+        with pytest.raises(ValueError):
+            gilbert_elliott_from_rate(0.1, 0.5, rng)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rate=st.floats(min_value=0.01, max_value=0.3),
+           burst=st.floats(min_value=1.0, max_value=10.0))
+    def test_from_rate_stationary_property(self, rate, burst):
+        model = gilbert_elliott_from_rate(rate, burst,
+                                          np.random.default_rng(0))
+        assert model.stationary_loss_rate == pytest.approx(rate)
+        assert model.mean_burst_length == pytest.approx(burst)
+
+
+class TestTraceLoss:
+    def test_replays_exactly(self):
+        trace = [False, True, False, False, True]
+        model = TraceLoss(trace, loop=False)
+        assert run_model(model, 5) == trace
+
+    def test_loops_by_default(self):
+        model = TraceLoss([True, False])
+        assert run_model(model, 4) == [True, False, True, False]
+
+    def test_exhausted_without_loop_stops_dropping(self):
+        model = TraceLoss([True], loop=False)
+        assert run_model(model, 3) == [True, False, False]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLoss([])
+
+    def test_ignores_non_data(self):
+        model = TraceLoss([True, True])
+        assert model(ack_packet(), 0.0) is False
+        assert model.packets_seen == 0
+
+    def test_recording_wrapper_roundtrip(self):
+        rng = np.random.default_rng(3)
+        original = GilbertElliottLoss(0.1, 0.4, 0.0, 1.0, rng)
+        wrapped, record = TraceLoss.recording(original)
+        first_run = run_model(wrapped, 500)
+        assert record == first_run
+        replay = TraceLoss(record, loop=False)
+        assert run_model(replay, 500) == first_run
+
+
+class TestRateLimitedLoss:
+    def test_caps_drops_per_window(self):
+        always = lambda packet, now: packet.is_data
+        model = rate_limited_loss(always, max_drops=3, window=1.0)
+        # 10 packets within one second: only the first three drop.
+        drops = [model(data_packet(i), i * 0.05) for i in range(10)]
+        assert sum(drops) == 3
+
+    def test_budget_replenishes_after_window(self):
+        always = lambda packet, now: packet.is_data
+        model = rate_limited_loss(always, max_drops=1, window=1.0)
+        assert model(data_packet(0), 0.0) is True
+        assert model(data_packet(1), 0.5) is False
+        assert model(data_packet(2), 1.5) is True
+
+    def test_validation(self):
+        inner = lambda packet, now: False
+        with pytest.raises(ValueError):
+            rate_limited_loss(inner, max_drops=-1, window=1.0)
+        with pytest.raises(ValueError):
+            rate_limited_loss(inner, max_drops=1, window=0.0)
+
+
+class TestRunLengths:
+    def test_basic(self):
+        assert loss_run_lengths([0, 1, 1, 0, 1, 0, 0, 1, 1, 1]) == [2, 1, 3]
+
+    def test_trailing_run_counted(self):
+        assert loss_run_lengths([1, 1]) == [2]
+
+    def test_no_drops(self):
+        assert loss_run_lengths([0, 0, 0]) == []
+
+    @given(trace=st.lists(st.booleans(), max_size=200))
+    def test_run_lengths_sum_to_total_drops(self, trace):
+        assert sum(loss_run_lengths(trace)) == sum(trace)

@@ -1,0 +1,94 @@
+"""Tests for the real-stack CLI (argument handling + a loopback run)."""
+
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro.rt import cli
+
+
+def free_port() -> int:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestParseEndpoint:
+    def test_host_and_port(self):
+        assert cli.parse_endpoint("10.0.0.1:9000") == ("10.0.0.1", 9000)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert cli.parse_endpoint("9000") == ("127.0.0.1", 9000)
+
+    def test_bad_port_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            cli.parse_endpoint("host:notaport")
+        with pytest.raises(argparse.ArgumentTypeError):
+            cli.parse_endpoint("host:70000")
+
+
+class TestParser:
+    def test_send_requires_peer(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["send"])
+
+    def test_send_defaults(self):
+        args = cli.build_parser().parse_args(["send", "--peer", "127.0.0.1:9"])
+        assert args.flow_id == 1
+        assert args.packet_size == 500
+        assert args.duration == 10.0
+
+    def test_proxy_args(self):
+        args = cli.build_parser().parse_args(
+            ["proxy", "--port", "9001", "--server", "127.0.0.1:9000",
+             "--delay-ms", "20", "--loss-period", "25"]
+        )
+        assert args.server == ("127.0.0.1", 9000)
+        assert args.delay_ms == 20.0
+        assert args.loss_period == 25
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["frobnicate"])
+
+
+class TestEndToEnd:
+    def test_send_recv_proxy_pipeline(self):
+        """recv and proxy as subprocesses, send in-process (one real run)."""
+        recv_port = free_port()
+        proxy_port = free_port()
+        recv_proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.rt.cli", "recv",
+             "--port", str(recv_port), "--duration", "6"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        proxy_proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.rt.cli", "proxy",
+             "--port", str(proxy_port), "--server", f"127.0.0.1:{recv_port}",
+             "--delay-ms", "10", "--loss-period", "20", "--duration", "6"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            rc = cli.main([
+                "send", "--peer", f"127.0.0.1:{proxy_port}",
+                "--duration", "2.5", "--packet-size", "400",
+                "--initial-rtt", "0.05",
+            ])
+            assert rc == 0
+            recv_out = recv_proc.communicate(timeout=15)[0]
+            proxy_out = proxy_proc.communicate(timeout=15)[0]
+        finally:
+            for proc in (recv_proc, proxy_proc):
+                if proc.poll() is None:
+                    proc.kill()
+        assert "flow=1" in recv_out
+        assert "received=" in recv_out
+        assert "dropped=" in proxy_out
+        assert recv_proc.returncode == 0
+        assert proxy_proc.returncode == 0

@@ -1,0 +1,162 @@
+"""Integration tests: full TFRC over real UDP sockets on loopback.
+
+These run the same protocol machines as the simulation tests but through
+the OS UDP stack, the wire encodings, and the impairment proxy.  Durations
+are kept short (fractions of a second of wall-clock time); assertions are
+correspondingly loose -- the precise dynamics are validated in simulation,
+here we verify the real stack plumbs end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rt import (
+    RealtimeScheduler,
+    UdpImpairmentProxy,
+    UdpTfrcReceiver,
+    UdpTfrcSender,
+    drop_bernoulli,
+    drop_every_nth_data,
+    run_loopback_session,
+)
+from repro.wire.headers import DATA_HEADER_SIZE
+
+
+class TestLoopbackSession:
+    def test_clean_path_delivers_everything(self):
+        result = run_loopback_session(duration=0.8, one_way_delay=0.01)
+        assert result.datagrams_sent > 10
+        # Nothing is dropped; only packets still in flight at shutdown may
+        # be missing.
+        assert result.datagrams_dropped == 0
+        assert result.datagrams_received >= result.datagrams_sent * 0.8
+        assert result.feedback_received > 0
+        assert result.loss_event_rate == 0.0
+
+    def test_periodic_loss_detected(self):
+        result = run_loopback_session(
+            duration=1.2, one_way_delay=0.01,
+            loss_model=drop_every_nth_data(20),
+        )
+        assert result.datagrams_dropped > 0
+        assert result.datagrams_received < result.datagrams_sent
+        # The receiver's p estimate lands in the right decade.
+        assert 0.005 < result.loss_event_rate < 0.25
+
+    def test_rtt_measured_through_proxy(self):
+        delay = 0.025
+        result = run_loopback_session(duration=0.8, one_way_delay=delay)
+        assert result.srtt is not None
+        # SRTT approximates 2 * one-way delay (plus scheduling jitter).
+        assert 2 * delay * 0.8 < result.srtt < 2 * delay * 3.0
+
+    def test_bandwidth_cap_limits_rate(self):
+        cap = 40_000.0  # bits/second
+        result = run_loopback_session(
+            duration=1.5, one_way_delay=0.01,
+            bandwidth_bps=cap, packet_size=200,
+        )
+        bytes_per_sec = result.datagrams_received * 200 / result.duration
+        # Delivered goodput cannot exceed the pipe rate (with slack for
+        # the final in-flight packets).
+        assert bytes_per_sec <= cap / 8 * 1.5
+
+    def test_bernoulli_loss_session(self):
+        result = run_loopback_session(
+            duration=1.0, one_way_delay=0.01,
+            loss_model=drop_bernoulli(0.1, np.random.default_rng(1)),
+        )
+        assert result.datagrams_received > 0
+        assert result.delivery_ratio < 1.0
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            run_loopback_session(duration=0.0)
+
+
+class TestEndpointDetails:
+    def test_sender_rejects_tiny_packet_size(self):
+        sched = RealtimeScheduler()
+        with pytest.raises(ValueError):
+            UdpTfrcSender(sched, peer=("127.0.0.1", 9), packet_size=DATA_HEADER_SIZE - 1)
+
+    def test_direct_sender_receiver_no_proxy(self):
+        sched = RealtimeScheduler()
+        receiver = UdpTfrcReceiver(sched)
+        sender = UdpTfrcSender(
+            sched, peer=receiver.local_address,
+            packet_size=300, initial_rtt=0.02,
+        )
+        try:
+            sender.start()
+            sched.run(until=0.4)
+            assert receiver.datagrams_received > 0
+            assert sender.feedback_datagrams > 0
+            assert sender.malformed_datagrams == 0
+            assert receiver.malformed_datagrams == 0
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_malformed_datagrams_counted_not_raised(self):
+        sched = RealtimeScheduler()
+        receiver = UdpTfrcReceiver(sched)
+        import socket as socket_mod
+
+        junk_sock = socket_mod.socket(socket_mod.AF_INET, socket_mod.SOCK_DGRAM)
+        try:
+            junk_sock.sendto(b"not a tfrc packet", receiver.local_address)
+            junk_sock.sendto(b"", receiver.local_address)
+            sched.run(until=0.1)
+            assert receiver.malformed_datagrams == 2
+            assert receiver.datagrams_received == 0
+        finally:
+            junk_sock.close()
+            receiver.close()
+
+    def test_wrong_flow_id_rejected(self):
+        sched = RealtimeScheduler()
+        receiver = UdpTfrcReceiver(sched, flow_id=5)
+        sender = UdpTfrcSender(
+            sched, peer=receiver.local_address, flow_id=6,
+            packet_size=300, initial_rtt=0.02,
+        )
+        try:
+            sender.start()
+            sched.run(until=0.2)
+            assert receiver.datagrams_received == 0
+            assert receiver.malformed_datagrams > 0
+        finally:
+            sender.close()
+            receiver.close()
+
+
+class TestProxy:
+    def test_validation(self):
+        sched = RealtimeScheduler()
+        with pytest.raises(ValueError):
+            UdpImpairmentProxy(sched, server=("127.0.0.1", 9), delay=-1.0)
+        with pytest.raises(ValueError):
+            UdpImpairmentProxy(sched, server=("127.0.0.1", 9), bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            UdpImpairmentProxy(sched, server=("127.0.0.1", 9), queue_packets=0)
+
+    def test_drop_every_nth_only_counts_data(self):
+        from repro.wire.headers import DataPacket, FeedbackPacket
+
+        model = drop_every_nth_data(2)
+        data = DataPacket(flow_id=1, seq=0, send_ts_us=0, rtt_us=0).encode()
+        fb = FeedbackPacket(flow_id=1, echo_seq=0, echo_ts_us=0, delay_us=0,
+                            p=0.0, recv_rate=0).encode()
+        verdicts = [model(data, 0.0), model(fb, 0.0), model(data, 0.0),
+                    model(data, 0.0)]
+        # Data datagrams 1, 2, 3: the 2nd drops; feedback never does.
+        assert verdicts == [False, False, True, False]
+
+    def test_drop_every_nth_validation(self):
+        with pytest.raises(ValueError):
+            drop_every_nth_data(0)
+
+    def test_drop_bernoulli_validation(self):
+        with pytest.raises(ValueError):
+            drop_bernoulli(1.0, np.random.default_rng(0))

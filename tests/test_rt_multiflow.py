@@ -1,0 +1,156 @@
+"""Multi-flow real-stack tests: several TFRC flows through one proxy.
+
+The paper's real-world experiments ran multiple flows concurrently over
+shared paths (section 4.3).  These tests run two or three real TFRC flows
+through a single impairment proxy into a single receiver socket
+(:class:`~repro.rt.UdpTfrcReceiverMux`) and check demultiplexing,
+per-flow feedback routing, and rough rate sharing on a capped pipe.
+"""
+
+import pytest
+
+from repro.rt import (
+    RealtimeScheduler,
+    UdpImpairmentProxy,
+    UdpTfrcReceiverMux,
+    UdpTfrcSender,
+    drop_every_nth_data,
+)
+
+
+def build_session(n_flows, loss_model=None, bandwidth_bps=None,
+                  one_way_delay=0.015, packet_size=300):
+    scheduler = RealtimeScheduler()
+    mux = UdpTfrcReceiverMux(scheduler)
+    proxy = UdpImpairmentProxy(
+        scheduler, server=mux.local_address, delay=one_way_delay,
+        loss_model=loss_model, bandwidth_bps=bandwidth_bps,
+    )
+    senders = [
+        UdpTfrcSender(
+            scheduler, peer=proxy.local_address, flow_id=i + 1,
+            packet_size=packet_size, initial_rtt=0.05,
+        )
+        for i in range(n_flows)
+    ]
+    return scheduler, mux, proxy, senders
+
+
+def teardown(mux, proxy, senders):
+    for sender in senders:
+        sender.close()
+    proxy.close()
+    mux.close()
+
+
+class TestMux:
+    def test_two_flows_demultiplexed(self):
+        scheduler, mux, proxy, senders = build_session(
+            2, loss_model=drop_every_nth_data(30)
+        )
+        try:
+            for sender in senders:
+                sender.start()
+            scheduler.run(until=1.0)
+            assert set(mux.flows) == {1, 2}
+            for flow_id, receiver in mux.flows.items():
+                assert receiver.datagrams_received > 5, flow_id
+                assert receiver.feedback_sent > 0, flow_id
+            # Feedback routed back to the right sender.
+            for sender in senders:
+                assert sender.feedback_datagrams > 0
+                assert sender.malformed_datagrams == 0
+        finally:
+            teardown(mux, proxy, senders)
+
+    def test_flows_share_capped_pipe(self):
+        cap = 240_000.0  # bits/second through the proxy pipe
+        scheduler, mux, proxy, senders = build_session(
+            2, bandwidth_bps=cap
+        )
+        try:
+            for sender in senders:
+                sender.start()
+            scheduler.run(until=2.5)
+            received = {
+                fid: r.datagrams_received for fid, r in mux.flows.items()
+            }
+            total_bps = sum(received.values()) * 300 * 8 / 2.5
+            # The pipe bounds aggregate goodput.
+            assert total_bps <= cap * 1.5
+            # Neither flow is starved outright.
+            assert min(received.values()) > 0
+        finally:
+            teardown(mux, proxy, senders)
+
+    def test_strict_mode_rejects_unknown_flow(self):
+        scheduler = RealtimeScheduler()
+        mux = UdpTfrcReceiverMux(scheduler, accept_new_flows=False)
+        mux.add_flow(7)
+        sender = UdpTfrcSender(
+            scheduler, peer=mux.local_address, flow_id=9,
+            packet_size=300, initial_rtt=0.05,
+        )
+        try:
+            sender.start()
+            scheduler.run(until=0.3)
+            assert 9 not in mux.flows
+            assert mux.malformed_datagrams > 0
+        finally:
+            sender.close()
+            mux.close()
+
+    def test_add_flow_idempotent(self):
+        scheduler = RealtimeScheduler()
+        mux = UdpTfrcReceiverMux(scheduler)
+        try:
+            first = mux.add_flow(3)
+            assert mux.add_flow(3) is first
+        finally:
+            mux.close()
+
+    def test_proxy_routes_by_flow_id_across_clients(self):
+        """Two senders behind one proxy: each gets only its own feedback."""
+        scheduler, mux, proxy, senders = build_session(3)
+        try:
+            for sender in senders:
+                sender.start()
+            scheduler.run(until=0.8)
+            for sender in senders:
+                # Wrong-flow feedback would be counted as malformed.
+                assert sender.malformed_datagrams == 0
+                assert sender.feedback_datagrams > 0
+        finally:
+            teardown(mux, proxy, senders)
+
+
+class TestReverseLoss:
+    def test_feedback_blackout_triggers_no_feedback_halving(self):
+        """Dropping ALL feedback: the sender's no-feedback timer must walk
+        the rate down instead of letting slow start run open-loop."""
+        from repro.rt import RealtimeScheduler, UdpImpairmentProxy, UdpTfrcSender
+        from repro.rt.udp import UdpTfrcReceiver
+
+        scheduler = RealtimeScheduler()
+        receiver = UdpTfrcReceiver(scheduler)
+        proxy = UdpImpairmentProxy(
+            scheduler, server=receiver.local_address, delay=0.01,
+            reverse_loss_model=lambda data, now: True,
+        )
+        sender = UdpTfrcSender(
+            scheduler, peer=proxy.local_address,
+            packet_size=300, initial_rtt=0.05,
+        )
+        try:
+            sender.start()
+            scheduler.run(until=1.2)
+            assert sender.feedback_datagrams == 0
+            assert receiver.feedback_sent > 0       # receiver did report
+            assert proxy.dropped >= receiver.feedback_sent
+            # Never got past the initial rate; halvings pulled it below.
+            initial_rate = 300 / 0.05
+            assert sender.core.rate <= initial_rate
+        finally:
+            sender.close()
+            proxy.close()
+            receiver.close()

@@ -1,0 +1,136 @@
+"""Unit tests for the wall-clock scheduler (timers, sockets, stop/until)."""
+
+import socket
+
+import pytest
+
+from repro.rt.scheduler import RealtimeScheduler
+from repro.sim.engine import SimulationError
+
+
+class FakeClock:
+    """Injectable monotonic clock for deterministic timer tests."""
+
+    def __init__(self):
+        self.t = 100.0  # arbitrary non-zero epoch
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestTimers:
+    def test_now_starts_at_zero(self):
+        clock = FakeClock()
+        sched = RealtimeScheduler(time_fn=clock)
+        assert sched.now == 0.0
+        clock.advance(1.5)
+        assert sched.now == pytest.approx(1.5)
+
+    def test_due_timers_fire_in_order(self):
+        clock = FakeClock()
+        sched = RealtimeScheduler(time_fn=clock)
+        fired = []
+        sched.schedule_in(0.2, fired.append, "b")
+        sched.schedule_in(0.1, fired.append, "a")
+        clock.advance(0.3)
+        sched.run_once(max_wait=0.0)
+        assert fired == ["a", "b"]
+
+    def test_not_yet_due_timer_does_not_fire(self):
+        clock = FakeClock()
+        sched = RealtimeScheduler(time_fn=clock)
+        fired = []
+        sched.schedule_in(1.0, fired.append, "x")
+        clock.advance(0.5)
+        sched.run_once(max_wait=0.0)
+        assert fired == []
+        assert sched.pending_count() == 1
+
+    def test_cancelled_timer_skipped(self):
+        clock = FakeClock()
+        sched = RealtimeScheduler(time_fn=clock)
+        fired = []
+        event = sched.schedule_in(0.1, fired.append, "x")
+        event.cancel()
+        clock.advance(0.2)
+        sched.run_once(max_wait=0.0)
+        assert fired == []
+        assert sched.pending_count() == 0
+
+    def test_priority_breaks_ties(self):
+        clock = FakeClock()
+        sched = RealtimeScheduler(time_fn=clock)
+        fired = []
+        sched.schedule(0.1, fired.append, "low", priority=1)
+        sched.schedule(0.1, fired.append, "high", priority=0)
+        clock.advance(0.2)
+        sched.run_once(max_wait=0.0)
+        assert fired == ["high", "low"]
+
+    def test_slightly_past_schedule_accepted(self):
+        # Wall clocks move while user code runs; scheduling "now - epsilon"
+        # must not raise (unlike the simulator).
+        clock = FakeClock()
+        sched = RealtimeScheduler(time_fn=clock)
+        clock.advance(1.0)
+        fired = []
+        sched.schedule(0.5, fired.append, "late")
+        sched.run_once(max_wait=0.0)
+        assert fired == ["late"]
+
+    def test_rejects_nonfinite_and_negative_delay(self):
+        sched = RealtimeScheduler(time_fn=FakeClock())
+        with pytest.raises(SimulationError):
+            sched.schedule(float("nan"), lambda: None)
+        with pytest.raises(SimulationError):
+            sched.schedule_in(-0.1, lambda: None)
+
+    def test_run_returns_when_idle(self):
+        # No sockets, no timers, no until: run() must not spin.
+        sched = RealtimeScheduler()
+        assert sched.run() >= 0.0
+
+    def test_run_until_elapses(self):
+        sched = RealtimeScheduler()
+        end = sched.run(until=0.05)
+        assert end >= 0.05
+
+    def test_stop_from_callback(self):
+        sched = RealtimeScheduler()
+        sched.schedule_in(0.0, sched.stop)
+        sched.schedule_in(10.0, lambda: None)  # would otherwise wait long
+        end = sched.run(until=5.0)
+        assert end < 1.0
+
+
+class TestSockets:
+    def test_reader_callback_invoked(self):
+        sched = RealtimeScheduler()
+        rx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        rx.bind(("127.0.0.1", 0))
+        tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        received = []
+
+        def on_readable(sock):
+            data, _ = sock.recvfrom(4096)
+            received.append(data)
+            sched.stop()
+
+        sched.add_reader(rx, on_readable)
+        tx.sendto(b"ping", rx.getsockname())
+        sched.run(until=2.0)
+        assert received == [b"ping"]
+        sched.remove_reader(rx)
+        rx.close()
+        tx.close()
+
+    def test_remove_reader_is_idempotent(self):
+        sched = RealtimeScheduler()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sched.add_reader(sock, lambda s: None)
+        sched.remove_reader(sock)
+        sched.remove_reader(sock)
+        sock.close()

@@ -1,0 +1,56 @@
+"""Unit tests for loopback-session helpers (no sockets involved)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rt.session import LoopbackResult, _time_averaged_rate
+
+
+def make_result(**overrides):
+    base = dict(
+        duration=1.0, datagrams_sent=10, datagrams_received=8,
+        datagrams_dropped=2, feedback_received=3, loss_event_rate=0.01,
+        mean_rate_bps=1000.0, final_rate_bps=900.0, srtt=0.04,
+    )
+    base.update(overrides)
+    return LoopbackResult(**base)
+
+
+class TestTimeAveragedRate:
+    def test_empty_history(self):
+        assert _time_averaged_rate([], end_time=10.0) == 0.0
+
+    def test_single_step_held_to_end(self):
+        assert _time_averaged_rate([(2.0, 100.0)], end_time=4.0) == 100.0
+
+    def test_stepwise_average(self):
+        history = [(0.0, 100.0), (1.0, 300.0)]  # 1s at 100, 1s at 300
+        assert _time_averaged_rate(history, end_time=2.0) == 200.0
+
+    def test_unequal_segments_weighted_by_duration(self):
+        history = [(0.0, 100.0), (3.0, 500.0)]  # 3s at 100, 1s at 500
+        assert _time_averaged_rate(history, end_time=4.0) == 200.0
+
+    def test_end_before_last_change_does_not_go_negative(self):
+        history = [(0.0, 100.0), (5.0, 900.0)]
+        value = _time_averaged_rate(history, end_time=5.0)
+        assert value == pytest.approx(100.0)
+
+    def test_zero_span_returns_last_rate(self):
+        assert _time_averaged_rate([(3.0, 42.0)], end_time=3.0) == 42.0
+
+    @given(rates=st.lists(st.floats(min_value=0, max_value=1e9), min_size=1,
+                          max_size=20))
+    def test_average_bounded_by_min_and_max(self, rates):
+        history = [(float(i), r) for i, r in enumerate(rates)]
+        value = _time_averaged_rate(history, end_time=float(len(rates)))
+        assert min(rates) - 1e-6 <= value <= max(rates) + 1e-6
+
+
+class TestLoopbackResult:
+    def test_delivery_ratio(self):
+        assert make_result().delivery_ratio == pytest.approx(0.8)
+
+    def test_delivery_ratio_no_traffic(self):
+        assert make_result(datagrams_sent=0).delivery_ratio == 0.0

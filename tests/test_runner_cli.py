@@ -1,0 +1,42 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunnerCli:
+    def test_all_known_experiments_registered(self):
+        expected = {
+            "fig02", "fig03", "fig05", "fig06", "fig08", "fig09", "fig11",
+            "fig14", "fig15", "fig16", "fig18", "fig19", "fig20",
+        }
+        assert set(runner.EXPERIMENTS) == expected
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["fig99"])
+
+    def test_fig20_quick_runs(self, capsys):
+        assert runner.main(["fig20", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 20" in out
+        assert "Figure 21" in out
+
+    def test_fig05_quick_runs(self, capsys):
+        assert runner.main(["fig05", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "rate x1.0" in out
+
+    def test_fig05_plot_renders_chart(self, capsys):
+        assert runner.main(["fig05", "--quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5: loss-event fraction" in out
+        assert "y=x" in out
+        # Chart frame characters present.
+        assert "|" in out and "---" in out
+
+    def test_fig20_plot_renders_chart(self, capsys):
+        assert runner.main(["fig20", "--quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 21: response to persistent congestion" in out

@@ -1,0 +1,140 @@
+"""Unit tests for timers and periodic processes."""
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, Timer
+
+
+class TestTimer:
+    def test_fires_after_interval(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.5)
+        sim.run()
+        assert fired == [1.5]
+
+    def test_restart_pushes_back(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.schedule(0.5, lambda: timer.restart(1.0))
+        sim.run()
+        assert fired == [1.5]
+
+    def test_cancel_prevents_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_and_expiry(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.pending
+        assert timer.expiry is None
+        timer.start(2.0)
+        assert timer.pending
+        assert timer.expiry == 2.0
+        sim.run()
+        assert not timer.pending
+
+    def test_can_rearm_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer = Timer(sim, on_fire)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.cancel()
+        timer.start(1.0)
+        timer.cancel()
+        timer.cancel()
+        sim.run()
+        assert not timer.pending
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_fixed_interval(self):
+        sim = Simulator()
+        ticks = []
+        proc = PeriodicProcess(sim, lambda: ticks.append(sim.now), lambda: 1.0)
+        proc.start()
+        sim.run(until=3.5)
+        assert ticks == [0.0, 1.0, 2.0, 3.0]
+
+    def test_initial_delay(self):
+        sim = Simulator()
+        ticks = []
+        proc = PeriodicProcess(sim, lambda: ticks.append(sim.now), lambda: 1.0)
+        proc.start(initial_delay=0.5)
+        sim.run(until=2.6)
+        assert ticks == [0.5, 1.5, 2.5]
+
+    def test_stop(self):
+        sim = Simulator()
+        ticks = []
+        proc = PeriodicProcess(sim, lambda: ticks.append(sim.now), lambda: 1.0)
+        proc.start()
+        sim.schedule(1.5, proc.stop)
+        sim.run(until=5.0)
+        assert ticks == [0.0, 1.0]
+
+    def test_interval_fn_none_terminates(self):
+        sim = Simulator()
+        ticks = []
+        intervals = iter([1.0, 1.0, None])
+        proc = PeriodicProcess(
+            sim, lambda: ticks.append(sim.now), lambda: next(intervals)
+        )
+        proc.start()
+        sim.run(until=10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+        assert not proc.running
+
+    def test_variable_intervals(self):
+        sim = Simulator()
+        ticks = []
+        intervals = iter([0.5, 1.5, 0.25])
+        proc = PeriodicProcess(
+            sim, lambda: ticks.append(sim.now), lambda: next(intervals, None)
+        )
+        proc.start()
+        sim.run(until=10.0)
+        assert ticks == [0.0, 0.5, 2.0, 2.25]
+
+    def test_callback_may_stop_process(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                proc.stop()
+
+        proc = PeriodicProcess(sim, tick, lambda: 1.0)
+        proc.start()
+        sim.run(until=10.0)
+        assert ticks == [0.0, 1.0]
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        ticks = []
+        proc = PeriodicProcess(sim, lambda: ticks.append(sim.now), lambda: 1.0)
+        proc.start()
+        proc.start()
+        sim.run(until=1.5)
+        assert ticks == [0.0, 1.0]

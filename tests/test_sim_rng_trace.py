@@ -1,0 +1,107 @@
+"""Unit tests for the RNG registry and tracer."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_instance(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_streams_independent_of_creation_order(self):
+        r1 = RngRegistry(42)
+        r2 = RngRegistry(42)
+        _ = r1.stream("first")
+        a_after = r1.stream("target").random(5)
+        a_only = r2.stream("target").random(5)
+        assert a_after.tolist() == a_only.tolist()
+
+    def test_different_names_differ(self):
+        registry = RngRegistry(0)
+        a = registry.stream("a").random(10)
+        b = registry.stream("b").random(10)
+        assert a.tolist() != b.tolist()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random(10)
+        b = RngRegistry(2).stream("x").random(10)
+        assert a.tolist() != b.tolist()
+
+    def test_reproducible_across_instances(self):
+        a = RngRegistry(7).stream("traffic").random(10)
+        b = RngRegistry(7).stream("traffic").random(10)
+        assert a.tolist() == b.tolist()
+
+    def test_fork_changes_streams(self):
+        base = RngRegistry(7)
+        forked = base.fork(1)
+        assert (
+            base.stream("x").random(5).tolist()
+            != forked.stream("x").random(5).tolist()
+        )
+
+    def test_fork_deterministic(self):
+        a = RngRegistry(7).fork(3).stream("x").random(5)
+        b = RngRegistry(7).fork(3).stream("x").random(5)
+        assert a.tolist() == b.tolist()
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry("seed")  # type: ignore[arg-type]
+
+    def test_contains(self):
+        registry = RngRegistry(0)
+        assert "x" not in registry
+        registry.stream("x")
+        assert "x" in registry
+
+
+class TestTracer:
+    def test_record_and_select_by_category(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", "flow-a", 1000)
+        tracer.record(2.0, "recv", "flow-a", 1000)
+        sends = tracer.select(category="send")
+        assert len(sends) == 1
+        assert sends[0].time == 1.0
+
+    def test_select_by_source_and_window(self):
+        tracer = Tracer()
+        for t in range(5):
+            tracer.record(float(t), "send", "a", t)
+            tracer.record(float(t), "send", "b", t)
+        picked = tracer.select(source="a", t_min=1.0, t_max=3.0)
+        assert [r.time for r in picked] == [1.0, 2.0, 3.0]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "send", "a")
+        assert len(tracer) == 0
+
+    def test_sources_listing(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", "b")
+        tracer.record(1.0, "recv", "a")
+        assert tracer.sources() == ["a", "b"]
+        assert tracer.sources(category="send") == ["b"]
+
+    def test_hooks_invoked(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_hook(lambda rec: seen.append(rec.category))
+        tracer.record(1.0, "drop", "x")
+        assert seen == ["drop"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", "a")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_meta_preserved(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", "a", 5, meta={"seq": 3})
+        assert tracer.select()[0].meta == {"seq": 3}

@@ -1,0 +1,138 @@
+"""Unit tests for the TCP sink (ACK generation, SACK blocks, delayed ACKs)."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketType
+from repro.sim.engine import Simulator
+from repro.tcp.sink import TCPSink
+
+
+def data(seq, flow="f", sent_at=0.0):
+    return Packet(flow_id=flow, seq=seq, size=1000, sent_at=sent_at)
+
+
+class TestCumulativeAcks:
+    def make(self, sim, **kwargs):
+        acks = []
+        sink = TCPSink(sim, "f", send_ack=acks.append, **kwargs)
+        return sink, acks
+
+    def test_in_order_acks(self):
+        sim = Simulator()
+        sink, acks = self.make(sim)
+        for i in range(3):
+            sink.receive(data(i))
+        assert [a.seq for a in acks] == [1, 2, 3]
+
+    def test_gap_generates_dupacks(self):
+        sim = Simulator()
+        sink, acks = self.make(sim)
+        sink.receive(data(0))
+        sink.receive(data(2))  # hole at 1
+        sink.receive(data(3))
+        assert [a.seq for a in acks] == [1, 1, 1]
+
+    def test_gap_fill_jumps_cumack(self):
+        sim = Simulator()
+        sink, acks = self.make(sim)
+        sink.receive(data(0))
+        sink.receive(data(2))
+        sink.receive(data(1))
+        assert acks[-1].seq == 3
+
+    def test_ack_echoes_timestamp_and_seq(self):
+        sim = Simulator()
+        sink, acks = self.make(sim)
+        sink.receive(data(0, sent_at=0.123))
+        assert acks[0].payload.echo_ts == 0.123
+        assert acks[0].payload.echo_seq == 0
+
+    def test_duplicate_data_counted_and_acked(self):
+        sim = Simulator()
+        sink, acks = self.make(sim)
+        sink.receive(data(0))
+        sink.receive(data(0))
+        assert sink.duplicate_data == 1
+        assert len(acks) == 2
+
+    def test_non_data_ignored(self):
+        sim = Simulator()
+        sink, acks = self.make(sim)
+        sink.receive(Packet(flow_id="f", seq=0, size=40, ptype=PacketType.ACK))
+        assert acks == []
+        assert sink.packets_received == 0
+
+    def test_on_data_hook(self):
+        sim = Simulator()
+        seen = []
+        sink = TCPSink(sim, "f", send_ack=lambda a: None,
+                       on_data=lambda t, p: seen.append(p.seq))
+        sink.receive(data(0))
+        assert seen == [0]
+
+
+class TestSackBlocks:
+    def test_single_block(self):
+        sim = Simulator()
+        acks = []
+        sink = TCPSink(sim, "f", send_ack=acks.append)
+        sink.receive(data(0))
+        sink.receive(data(2))
+        assert acks[-1].payload.sack_blocks == [(2, 3)]
+
+    def test_blocks_merge_contiguous(self):
+        sim = Simulator()
+        acks = []
+        sink = TCPSink(sim, "f", send_ack=acks.append)
+        sink.receive(data(0))
+        sink.receive(data(2))
+        sink.receive(data(3))
+        assert acks[-1].payload.sack_blocks == [(2, 4)]
+
+    def test_at_most_three_blocks_highest_first(self):
+        sim = Simulator()
+        acks = []
+        sink = TCPSink(sim, "f", send_ack=acks.append)
+        sink.receive(data(0))
+        for seq in (2, 4, 6, 8):
+            sink.receive(data(seq))
+        blocks = acks[-1].payload.sack_blocks
+        assert len(blocks) == 3
+        assert blocks[0] == (8, 9)
+        assert blocks == sorted(blocks, key=lambda b: -b[1])
+
+    def test_blocks_empty_when_in_order(self):
+        sim = Simulator()
+        acks = []
+        sink = TCPSink(sim, "f", send_ack=acks.append)
+        sink.receive(data(0))
+        assert acks[-1].payload.sack_blocks == []
+
+
+class TestDelayedAcks:
+    def test_second_packet_flushes_immediately(self):
+        sim = Simulator()
+        acks = []
+        sink = TCPSink(sim, "f", send_ack=acks.append, delayed_ack=True)
+        sink.receive(data(0))
+        assert acks == []  # held
+        sink.receive(data(1))
+        assert [a.seq for a in acks] == [2]
+
+    def test_delack_timer_flushes_single_packet(self):
+        sim = Simulator()
+        acks = []
+        sink = TCPSink(sim, "f", send_ack=acks.append, delayed_ack=True,
+                       delack_interval=0.2)
+        sink.receive(data(0))
+        sim.run(until=0.3)
+        assert [a.seq for a in acks] == [1]
+
+    def test_out_of_order_acks_immediately_despite_delack(self):
+        sim = Simulator()
+        acks = []
+        sink = TCPSink(sim, "f", send_ack=acks.append, delayed_ack=True)
+        sink.receive(data(0))
+        sink.receive(data(2))  # gap: must ACK at once (and flush pending)
+        assert len(acks) >= 1
+        assert acks[-1].seq == 1

@@ -1,0 +1,187 @@
+"""Unit and property tests for wire headers and the Internet checksum."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wire.checksum import internet_checksum, verify_checksum
+from repro.wire.headers import (
+    DATA_HEADER_SIZE,
+    FEEDBACK_HEADER_SIZE,
+    BadMagicError,
+    ChecksumMismatchError,
+    DataPacket,
+    FeedbackPacket,
+    TruncatedPacketError,
+    UnsupportedVersionError,
+    WireFormatError,
+    decode_packet,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u64 = st.integers(min_value=0, max_value=0xFFFFFFFFFFFFFFFF)
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example: words 0x0001, 0xf203, 0xf4f5, 0xf6f7.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == ~0xDDF2 & 0xFFFF
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x12") == internet_checksum(b"\x12\x00")
+
+    @given(words=st.lists(st.integers(0, 0xFFFF), max_size=100))
+    def test_verify_accepts_correct_checksum(self, words):
+        # Even-length data (headers always are): appending the checksum
+        # word makes the whole datagram verify.
+        data = b"".join(struct.pack("!H", w) for w in words)
+        datagram = data + struct.pack("!H", internet_checksum(data))
+        assert verify_checksum(datagram)
+
+    @given(data=st.binary(min_size=4, max_size=100), flip=st.integers(0, 7))
+    def test_single_bit_corruption_detected(self, data, flip):
+        datagram = data + struct.pack("!H", internet_checksum(data))
+        corrupted = bytearray(datagram)
+        corrupted[0] ^= 1 << flip
+        # Ones-complement checksums detect any single-bit error.
+        assert not verify_checksum(bytes(corrupted))
+
+
+class TestDataPacketRoundTrip:
+    def test_simple(self):
+        pkt = DataPacket(flow_id=7, seq=42, send_ts_us=123456, rtt_us=80000,
+                         ecn_capable=True, payload=b"hello")
+        decoded = decode_packet(pkt.encode())
+        assert decoded == pkt
+
+    def test_wire_size(self):
+        pkt = DataPacket(flow_id=1, seq=0, send_ts_us=0, rtt_us=0,
+                         payload=b"x" * 100)
+        assert len(pkt.encode()) == DATA_HEADER_SIZE + 100 == pkt.wire_size
+
+    @given(flow_id=u32, seq=u32, ts=u64, rtt=u32, ecn=st.booleans(),
+           payload=st.binary(max_size=64))
+    def test_roundtrip_property(self, flow_id, seq, ts, rtt, ecn, payload):
+        pkt = DataPacket(flow_id=flow_id, seq=seq, send_ts_us=ts, rtt_us=rtt,
+                         ecn_capable=ecn, payload=payload)
+        assert decode_packet(pkt.encode()) == pkt
+
+    def test_rejects_out_of_range_fields(self):
+        with pytest.raises(ValueError):
+            DataPacket(flow_id=1 << 32, seq=0, send_ts_us=0, rtt_us=0).encode()
+        with pytest.raises(ValueError):
+            DataPacket(flow_id=0, seq=0, send_ts_us=-1, rtt_us=0).encode()
+
+
+class TestFeedbackPacketRoundTrip:
+    def test_simple(self):
+        pkt = FeedbackPacket(flow_id=3, echo_seq=99, echo_ts_us=55555,
+                             delay_us=1200, p=0.05, recv_rate=125000,
+                             expedited=True)
+        decoded = decode_packet(pkt.encode())
+        assert isinstance(decoded, FeedbackPacket)
+        assert decoded.echo_seq == 99
+        assert decoded.recv_rate == 125000
+        assert decoded.expedited
+        assert abs(decoded.p - 0.05) < 1e-9
+
+    def test_wire_size_is_40_bytes(self):
+        # Matches TfrcReceiver.FEEDBACK_SIZE in the simulator.
+        pkt = FeedbackPacket(flow_id=1, echo_seq=0, echo_ts_us=0,
+                             delay_us=0, p=0.0, recv_rate=0)
+        assert len(pkt.encode()) == FEEDBACK_HEADER_SIZE == 40
+
+    @given(flow_id=u32, echo_seq=u32, ts=u64, delay=u32,
+           p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           rate=u64, expedited=st.booleans())
+    def test_roundtrip_property(self, flow_id, echo_seq, ts, delay, p, rate,
+                                expedited):
+        pkt = FeedbackPacket(flow_id=flow_id, echo_seq=echo_seq,
+                             echo_ts_us=ts, delay_us=delay, p=p,
+                             recv_rate=rate, expedited=expedited)
+        decoded = decode_packet(pkt.encode())
+        assert decoded.flow_id == flow_id
+        assert decoded.echo_seq == echo_seq
+        assert decoded.echo_ts_us == ts
+        assert decoded.delay_us == delay
+        assert decoded.recv_rate == rate
+        assert decoded.expedited == expedited
+        # p survives within fixed-point quantization.
+        assert abs(decoded.p - p) <= 1.0 / 0xFFFFFFFF
+
+    def test_rejects_p_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            FeedbackPacket(flow_id=0, echo_seq=0, echo_ts_us=0, delay_us=0,
+                           p=1.5, recv_rate=0).encode()
+
+
+class TestDecodeErrors:
+    def good_data(self):
+        return DataPacket(flow_id=1, seq=2, send_ts_us=3, rtt_us=4).encode()
+
+    def test_truncated_common_header(self):
+        with pytest.raises(TruncatedPacketError):
+            decode_packet(b"TF\x01")
+
+    def test_truncated_body(self):
+        # A datagram whose checksum verifies but whose body is short: the
+        # common header alone, self-checksummed, claiming type=data.
+        import repro.wire.headers as hdr
+
+        head = hdr._COMMON.pack(hdr.MAGIC, hdr.VERSION, hdr.TYPE_DATA, 0, 1)
+        checksum = internet_checksum(head)
+        head = hdr._COMMON.pack(hdr.MAGIC, hdr.VERSION, hdr.TYPE_DATA,
+                                checksum, 1)
+        with pytest.raises(TruncatedPacketError):
+            decode_packet(head)
+
+    def test_truncation_in_flight_fails_checksum(self):
+        # Truncating a valid datagram corrupts it; the checksum catches it
+        # before body parsing (drop either way).
+        with pytest.raises((TruncatedPacketError, ChecksumMismatchError)):
+            decode_packet(self.good_data()[: DATA_HEADER_SIZE - 4])
+
+    def test_bad_magic(self):
+        data = bytearray(self.good_data())
+        data[0:2] = b"XX"
+        with pytest.raises(BadMagicError):
+            decode_packet(bytes(data))
+
+    def test_unsupported_version(self):
+        data = bytearray(self.good_data())
+        data[2] = 99
+        with pytest.raises(UnsupportedVersionError):
+            decode_packet(bytes(data))
+
+    def test_corrupted_payload_fails_checksum(self):
+        data = bytearray(
+            DataPacket(flow_id=1, seq=2, send_ts_us=3, rtt_us=4,
+                       payload=b"payload").encode()
+        )
+        data[-1] ^= 0xFF
+        with pytest.raises(ChecksumMismatchError):
+            decode_packet(bytes(data))
+
+    def test_unknown_type(self):
+        data = bytearray(self.good_data())
+        data[3] = 9
+        # Re-checksum so only the type is wrong.
+        data[4:6] = b"\x00\x00"
+        checksum = internet_checksum(bytes(data))
+        data[4:6] = struct.pack("!H", checksum)
+        with pytest.raises(WireFormatError):
+            decode_packet(bytes(data))
+
+    @given(noise=st.binary(min_size=0, max_size=80))
+    def test_random_noise_never_crashes(self, noise):
+        # Arbitrary junk must raise WireFormatError, not anything else.
+        try:
+            decode_packet(noise)
+        except WireFormatError:
+            pass

@@ -1,0 +1,105 @@
+"""Unit and property tests for serial-number arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wire.seqnum import (
+    SEQ_SPACE_BITS,
+    seq_add,
+    seq_diff,
+    seq_gt,
+    seq_gte,
+    seq_lt,
+    seq_lte,
+    seq_window_iter,
+)
+
+MOD = 1 << SEQ_SPACE_BITS
+HALF = MOD // 2
+
+seqs = st.integers(min_value=0, max_value=MOD - 1)
+small_deltas = st.integers(min_value=-(HALF - 1), max_value=HALF - 1)
+
+
+class TestAdd:
+    def test_simple(self):
+        assert seq_add(5, 3) == 8
+
+    def test_wraps_forward(self):
+        assert seq_add(MOD - 1, 1) == 0
+
+    def test_wraps_backward(self):
+        assert seq_add(0, -1) == MOD - 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            seq_add(MOD, 1)
+        with pytest.raises(ValueError):
+            seq_add(-1, 1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            seq_add(1.5, 1)
+
+
+class TestDiff:
+    def test_zero(self):
+        assert seq_diff(7, 7) == 0
+
+    def test_across_wrap(self):
+        # 2 is three ahead of MOD-1.
+        assert seq_diff(2, MOD - 1) == 3
+        assert seq_diff(MOD - 1, 2) == -3
+
+    def test_half_space_is_negative(self):
+        # Exactly half the space away compares as "behind" (RFC 1982's
+        # undefined case resolved deterministically).
+        assert seq_diff(HALF, 0) == -HALF
+
+    @given(a=seqs, d=small_deltas)
+    def test_add_then_diff_roundtrip(self, a, d):
+        assert seq_diff(seq_add(a, d), a) == d
+
+    @given(a=seqs, b=seqs)
+    def test_antisymmetric(self, a, b):
+        d_ab = seq_diff(a, b)
+        d_ba = seq_diff(b, a)
+        if abs(d_ab) != HALF:
+            assert d_ab == -d_ba
+
+
+class TestComparisons:
+    def test_orderings(self):
+        assert seq_lt(0, 1)
+        assert seq_gt(1, 0)
+        assert seq_lt(MOD - 1, 0)       # wrap: MOD-1 precedes 0
+        assert seq_gte(5, 5)
+        assert seq_lte(5, 5)
+
+    @given(a=seqs, d=st.integers(min_value=1, max_value=HALF - 1))
+    def test_strictly_ahead(self, a, d):
+        b = seq_add(a, d)
+        assert seq_lt(a, b)
+        assert seq_gt(b, a)
+        assert not seq_lt(b, a)
+
+
+class TestWindowIter:
+    def test_simple_window(self):
+        assert list(seq_window_iter(3, 6)) == [3, 4, 5]
+
+    def test_window_across_wrap(self):
+        got = list(seq_window_iter(MOD - 2, 1))
+        assert got == [MOD - 2, MOD - 1, 0]
+
+    def test_empty_window(self):
+        assert list(seq_window_iter(9, 9)) == []
+
+    def test_backwards_window_rejected(self):
+        with pytest.raises(ValueError):
+            list(seq_window_iter(5, 4))
+
+    def test_small_bit_width(self):
+        got = list(seq_window_iter(6, 1, bits=3))
+        assert got == [6, 7, 0]
