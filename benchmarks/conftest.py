@@ -6,7 +6,22 @@ outputs are the *figures' numbers*, which every bench also asserts against
 the paper's qualitative shape before reporting timing.
 """
 
+import os
+
 import pytest
+
+
+BENCHMARK_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark is a whole-figure (or timing-sensitive) run: mark
+    them all ``slow`` so ``pytest -m "not slow"`` is the sub-minute smoke
+    tier while plain ``pytest`` keeps running everything.  The hook sees
+    the whole session's items, so restrict it to this directory."""
+    for item in items:
+        if os.path.dirname(os.path.abspath(str(item.fspath))) == BENCHMARK_DIR:
+            item.add_marker(pytest.mark.slow)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

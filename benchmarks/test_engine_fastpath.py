@@ -1,0 +1,175 @@
+"""Micro-benchmark: per-packet vs batched link scheduling.
+
+Drives one saturated link (tiny service time, deep backlog, trivial
+receiver) so that scheduler bookkeeping dominates, and compares the legacy
+per-packet event path (one heap ``Event`` per transmission completion plus
+one per delivery) against the batched fast path (a self-rescheduling
+tuple-entry wakeup loop).  The figure of merit is *scheduled events per
+wall-clock second*: each forwarded packet corresponds to two scheduler
+wakeups on either path, so the ratio of packet rates is the ratio of event
+rates.
+
+Also exercises ``Simulator.schedule_batch`` against one-at-a-time
+``schedule`` for bulk seeding, the other half of the engine fast path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+#: Wall-clock ratio assertions are meaningful on a quiet local machine but
+#: flaky gates on shared CI runners (GitHub sets ``CI=true``): there the
+#: timing tests skip and only the behavioral identity checks run.
+skip_timing_on_ci = pytest.mark.skipif(
+    os.environ.get("CI", "").lower() in ("1", "true"),
+    reason="wall-clock performance ratios are unreliable on shared CI runners",
+)
+
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketType
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+
+#: Events per forwarded packet on both link paths (finish + delivery).
+EVENTS_PER_PACKET = 2
+
+
+def _drive_link(fastpath: bool, n_packets: int) -> float:
+    """Forward ``n_packets`` through a saturated link; returns seconds."""
+    sim = Simulator()
+    link = Link(
+        sim, 8e9, 0.01, DropTailQueue(n_packets + 1), fastpath=fastpath
+    )
+    received = [0]
+
+    def receiver(packet: Packet) -> None:
+        received[0] += 1
+
+    link.connect(receiver)
+    sent = [0]
+    batch = 200
+    refill_interval = batch * 1000 * 8 / 8e9
+
+    def feed() -> None:
+        for _ in range(batch):
+            if sent[0] >= n_packets:
+                return
+            link.send(
+                Packet(
+                    flow_id="bench", seq=sent[0], size=1000,
+                    ptype=PacketType.DATA,
+                )
+            )
+            sent[0] += 1
+        sim.schedule_fast(sim.now + refill_interval, feed)
+
+    sim.schedule(0.0, feed)
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    assert received[0] == n_packets
+    return elapsed
+
+
+def _events_per_second(fastpath: bool, n_packets: int, repeats: int) -> float:
+    best = min(_drive_link(fastpath, n_packets) for _ in range(repeats))
+    return n_packets * EVENTS_PER_PACKET / best
+
+
+class TestLinkFastpath:
+    @skip_timing_on_ci
+    def test_batched_link_path_is_faster(self, capsys):
+        """Acceptance: the batched link hot path sustains >= 1.5x the
+        events/sec of per-packet scheduling."""
+        n_packets = 60_000
+        repeats = 4
+        legacy = _events_per_second(False, n_packets, repeats)
+        batched = _events_per_second(True, n_packets, repeats)
+        ratio = batched / legacy
+        with capsys.disabled():
+            print(
+                f"\n[engine-fastpath] legacy {legacy:,.0f} ev/s, "
+                f"batched {batched:,.0f} ev/s, ratio {ratio:.2f}x"
+            )
+        assert ratio >= 1.5, (
+            f"batched link path only {ratio:.2f}x the per-packet path "
+            f"({batched:,.0f} vs {legacy:,.0f} events/s)"
+        )
+
+    def test_paths_forward_identically(self):
+        """The fast path must be a pure scheduling optimization: identical
+        forwarding counts and byte totals at identical times."""
+        counts = {}
+        for fastpath in (False, True):
+            sim = Simulator()
+            link = Link(sim, 1e6, 0.05, DropTailQueue(10), fastpath=fastpath)
+            deliveries = []
+            link.connect(lambda p: deliveries.append((sim.now, p.seq)))
+            for i in range(30):
+                sim.schedule(
+                    i * 0.001,
+                    lambda i=i: link.send(
+                        Packet(
+                            flow_id="x", seq=i, size=500,
+                            ptype=PacketType.DATA,
+                        )
+                    ),
+                )
+            sim.run()
+            counts[fastpath] = (
+                link.packets_forwarded,
+                link.bytes_forwarded,
+                link.queue.dropped,
+                round(link.utilization_seconds, 12),
+                deliveries,
+            )
+        assert counts[False] == counts[True]
+
+
+class TestScheduleBatch:
+    @skip_timing_on_ci
+    def test_bulk_seeding_not_slower(self):
+        """schedule_batch bulk-heapifies; it must beat or match a loop of
+        schedule() calls for large seeding bursts."""
+        n = 50_000
+
+        def one_by_one() -> float:
+            sim = Simulator()
+            started = time.perf_counter()
+            for i in range(n):
+                sim.schedule(i * 1e-6, _noop)
+            elapsed = time.perf_counter() - started
+            sim.run()
+            return elapsed
+
+        def batched() -> float:
+            sim = Simulator()
+            started = time.perf_counter()
+            sim.schedule_batch((i * 1e-6, _noop, ()) for i in range(n))
+            elapsed = time.perf_counter() - started
+            sim.run()
+            return elapsed
+
+        loop_time = min(one_by_one() for _ in range(3))
+        batch_time = min(batched() for _ in range(3))
+        # Typically ~2x faster; the generous margin keeps this from
+        # flaking on noisy shared CI runners.
+        assert batch_time <= loop_time * 1.25
+
+    def test_batch_preserves_semantics(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_batch(
+            [(0.2, seen.append, ("b",)), (0.1, seen.append, ("a",))]
+        )
+        count = sim.schedule_batch([])
+        assert count == 0
+        sim.run()
+        assert seen == ["a", "b"]
+
+
+def _noop() -> None:
+    return None

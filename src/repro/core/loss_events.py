@@ -11,6 +11,12 @@ reordering does not masquerade as loss.  The loss *time* of a hole is
 interpolated between the arrival times of the packets surrounding it, which
 is what decides whether the hole joins the previous loss event or starts a
 new one.
+
+Deep reordering can outlast the tolerance: a packet may be declared lost
+and still arrive later.  Such late arrivals **retract** the declaration --
+the loss count is decremented and, once a loss event has no surviving
+constituent losses, the event itself is withdrawn -- so reordered-but-
+delivered packets never leave a phantom loss event behind.
 """
 
 from __future__ import annotations
@@ -59,6 +65,9 @@ class LossEventDetector:
         self._last_arrival_seq: Optional[int] = None
         self._event_start_time: Optional[float] = None
         self._event_start_seq: Optional[int] = None
+        self._active_event: Optional[LossEvent] = None
+        self._declared: Dict[int, LossEvent] = {}  # matured seq -> its event
+        self._event_members: Dict[int, int] = {}  # id(event) -> live losses
         self.events: List[LossEvent] = []
         self.packets_received = 0
         self.packets_lost = 0
@@ -86,9 +95,11 @@ class LossEventDetector:
             self._register_holes(seq, now)
             self._next_expected = seq + 1
         else:
-            # Late (reordered or duplicate) packet fills its hole if pending.
+            # Late (reordered or duplicate) packet fills its hole if pending,
+            # or retracts its loss declaration if the hole already matured.
             self._pending_holes.pop(seq, None)
             self._holes_followers.pop(seq, None)
+            self._retract(seq)
         self._last_arrival_time = now
         self._last_arrival_seq = max(self._last_arrival_seq or 0, seq)
         new_events.extend(self._mature_holes())
@@ -128,7 +139,71 @@ class LossEventDetector:
             event = self._classify_loss(seq, loss_time)
             if event is not None:
                 new_events.append(event)
+            # Whether it started the event or merged into the active one,
+            # the declared loss is a retractable constituent of that event.
+            assert self._active_event is not None
+            self._declared[seq] = self._active_event
+            self._add_member(self._active_event)
+        self._expire_retractables()
         return new_events
+
+    def _add_member(self, event: LossEvent) -> None:
+        """Count one more constituent of ``event``, resurrecting the event
+        into :attr:`events` if every earlier constituent had been retracted
+        (the withdrawn event stays the geometry anchor, see :meth:`_retract`,
+        so a genuine loss can still merge into it).  Resurrection does not
+        re-fire ``on_event``: consumers were already notified when the event
+        was first declared."""
+        key = id(event)
+        count = self._event_members.get(key, 0)
+        self._event_members[key] = count + 1
+        if count == 0:
+            # Freshly created events are always the list tail (appended by
+            # _classify_loss one frame earlier), so only a genuine
+            # resurrection pays for the identity scan.
+            if not self.events or self.events[-1] is not event:
+                if not any(e is event for e in self.events):
+                    self.events.append(event)
+
+    #: Retraction horizon, in packets: a declared loss this far behind the
+    #: highest delivered sequence number is considered permanent, so its
+    #: bookkeeping can be dropped (bounds ``_declared`` on long runs).
+    RETRACTION_WINDOW = 4096
+
+    def _expire_retractables(self) -> None:
+        if len(self._declared) <= 64:
+            return
+        horizon = self._next_expected - self.RETRACTION_WINDOW
+        expired = [s for s in self._declared if s < horizon]
+        for s in expired:
+            del self._declared[s]
+
+    def _retract(self, seq: int) -> None:
+        """A declared-lost packet arrived after all: withdraw the loss.
+
+        Decrements the loss count; when the owning event has no other
+        surviving constituent losses the event itself is removed from
+        :attr:`events`.  The event-start geometry (``_event_start_time`` /
+        ``_event_start_seq``) is deliberately **not** rolled back: the
+        consumer's loss-interval history already closed an interval at this
+        event (via ``on_event``), so the open interval must keep counting
+        from the withdrawn event's start -- rolling back would double-count
+        those packets into both the closed and the reopened interval.
+        """
+        event = self._declared.pop(seq, None)
+        if event is None:
+            return
+        self.packets_lost -= 1
+        key = id(event)
+        remaining = self._event_members.get(key, 1) - 1
+        if remaining > 0:
+            self._event_members[key] = remaining
+            return
+        self._event_members.pop(key, None)
+        for index, candidate in enumerate(self.events):
+            if candidate is event:
+                del self.events[index]
+                break
 
     def on_congestion_mark(self, seq: int, now: float) -> Optional[LossEvent]:
         """Treat an ECN-marked arrival as a congestion signal.
@@ -137,9 +212,13 @@ class LossEventDetector:
         within one RTT of the active event start merges into it; otherwise
         it starts a new loss event (with the usual sequence-distance
         interval), exactly as TFRC-over-ECN requires congestion marks to be
-        treated like drops.
+        treated like drops.  Marks are permanent constituents: the marked
+        packet *did* arrive, so there is nothing to retract later.
         """
-        return self._classify_loss(seq, now)
+        event = self._classify_loss(seq, now)
+        if self._active_event is not None:
+            self._add_member(self._active_event)
+        return event
 
     def _classify_loss(self, seq: int, loss_time: float) -> Optional[LossEvent]:
         """Merge into the active loss event or start a new one."""
@@ -157,6 +236,8 @@ class LossEventDetector:
         self._event_start_time = loss_time
         self._event_start_seq = seq
         event = LossEvent(time=loss_time, first_lost_seq=seq, closed_interval=closed)
+        self._active_event = event
+        self._event_members[id(event)] = 0
         self.events.append(event)
         if self.on_event is not None:
             self.on_event(event)

@@ -1,212 +1,29 @@
-"""Shared scenario builders for the experiment modules.
+"""Backwards-compatible re-exports of the scenario builders.
 
-The paper's evaluation reuses a small set of scenarios; this module builds
-them once so each figure module stays focused on its measurement:
-
-* :func:`build_mixed_dumbbell` -- n TFRC + n TCP flows on a dumbbell
-  (Figures 6-10, 14): random base RTTs U(80,120) ms, staggered starts
-  U(0,10) s, per the section 4.1.2 footnote.
-* :func:`run_single_tfrc_on_lossy_path` -- one TFRC flow on an ideal pipe
-  with a programmable loss model (Figures 2, 19, 20, 21).
-* :class:`MixedDumbbellResult` -- per-flow arrival series plus monitors.
+The shared scenario builders now live in :mod:`repro.scenarios.builders`
+(one subsystem for specs, builders, and sweeps); this module keeps the
+historical ``repro.experiments.common`` import path working for existing
+figure modules, tests, and downstream studies.
 """
 
-from __future__ import annotations
+from repro.scenarios.builders import (
+    RTT_RANGE,
+    START_RANGE,
+    MixedDumbbellResult,
+    SingleTfrcResult,
+    build_mixed_dumbbell,
+    run_mixed_dumbbell,
+    run_single_tfrc_on_lossy_path,
+    steady_state_window,
+)
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from repro.core import TfrcFlow
-from repro.core.agent import TfrcFlow as _TfrcFlow
-from repro.net import Dumbbell, DumbbellConfig
-from repro.net.monitor import FlowMonitor, LinkMonitor
-from repro.net.path import LossyPath, LossModel
-from repro.sim import Simulator
-from repro.sim.rng import RngRegistry
-from repro.tcp.flow import TcpFlow
-
-#: The paper's per-flow base RTT range (section 4.1.2): U(80, 120) ms.
-RTT_RANGE = (0.080, 0.120)
-#: Staggered start window: U(0, 10) s.
-START_RANGE = (0.0, 10.0)
-
-
-@dataclass
-class MixedDumbbellResult:
-    """Everything the analysis layer needs from one dumbbell run."""
-
-    sim: Simulator
-    dumbbell: Dumbbell
-    flow_monitor: FlowMonitor
-    link_monitor: LinkMonitor
-    tfrc_flows: List[TfrcFlow] = field(default_factory=list)
-    tcp_flows: List[TcpFlow] = field(default_factory=list)
-    duration: float = 0.0
-
-    @property
-    def tfrc_ids(self) -> List[str]:
-        return [flow.flow_id for flow in self.tfrc_flows]
-
-    @property
-    def tcp_ids(self) -> List[str]:
-        return [flow.flow_id for flow in self.tcp_flows]
-
-    def throughput(self, flow_id: str, t_min: float, t_max: float) -> float:
-        return self.flow_monitor.throughput_bps(flow_id, t_min, t_max)
-
-    def normalized_throughput(
-        self, flow_id: str, t_min: float, t_max: float
-    ) -> float:
-        """Throughput normalized so 1.0 = a fair share of the bottleneck."""
-        n = len(self.tfrc_flows) + len(self.tcp_flows)
-        fair = self.dumbbell.config.bandwidth_bps / max(1, n)
-        return self.throughput(flow_id, t_min, t_max) / fair
-
-
-def build_mixed_dumbbell(
-    n_tfrc: int,
-    n_tcp: int,
-    bandwidth_bps: float = 15e6,
-    queue_type: str = "red",
-    buffer_packets: Optional[int] = None,
-    seed: int = 0,
-    tcp_variant: str = "sack",
-    interpacket_adjustment: bool = True,
-    queue_scaling_bandwidth: Optional[float] = None,
-    sample_queue: bool = False,
-) -> MixedDumbbellResult:
-    """Construct (without running) the standard mixed-traffic dumbbell.
-
-    Queue sizing follows the paper's Figure 6 methodology ("we scale the
-    queue size with the bandwidth"): the buffer is the paper's 100 packets
-    scaled by ``bandwidth / 15 Mb/s`` (at least 5 packets), unless
-    ``buffer_packets`` is given.  RED thresholds scale with the buffer.
-    """
-    if n_tfrc < 0 or n_tcp < 0 or n_tfrc + n_tcp == 0:
-        raise ValueError("need at least one flow")
-    rng_registry = RngRegistry(seed)
-    rng = rng_registry.stream("topology")
-    scale_bw = queue_scaling_bandwidth or bandwidth_bps
-    if buffer_packets is None:
-        buffer_packets = max(5, int(round(100 * scale_bw / 15e6)))
-    config = DumbbellConfig(
-        bandwidth_bps=bandwidth_bps,
-        queue_type=queue_type,
-        buffer_packets=buffer_packets,
-        red_min_thresh=max(2, buffer_packets // 10),
-        red_max_thresh=max(4, buffer_packets // 2),
-    )
-    sim = Simulator()
-    dumbbell = Dumbbell(sim, config, queue_rng=rng_registry.stream("red"))
-    flow_monitor = FlowMonitor()
-    link_monitor = LinkMonitor(
-        sim, dumbbell.forward_link, sample_queue=sample_queue
-    )
-    result = MixedDumbbellResult(
-        sim=sim,
-        dumbbell=dumbbell,
-        flow_monitor=flow_monitor,
-        link_monitor=link_monitor,
-    )
-    for i in range(n_tfrc):
-        flow_id = f"tfrc-{i}"
-        fwd, rev = dumbbell.attach_flow(flow_id, rng.uniform(*RTT_RANGE))
-        flow = TfrcFlow(
-            sim,
-            flow_id,
-            fwd,
-            rev,
-            on_data=flow_monitor.on_packet,
-            interpacket_adjustment=interpacket_adjustment,
-        )
-        flow.start(at=rng.uniform(*START_RANGE))
-        result.tfrc_flows.append(flow)
-    for i in range(n_tcp):
-        flow_id = f"tcp-{i}"
-        fwd, rev = dumbbell.attach_flow(flow_id, rng.uniform(*RTT_RANGE))
-        flow = TcpFlow(
-            sim,
-            flow_id,
-            fwd,
-            rev,
-            variant=tcp_variant,
-            on_data=flow_monitor.on_packet,
-        )
-        flow.start(at=rng.uniform(*START_RANGE))
-        result.tcp_flows.append(flow)
-    return result
-
-
-def run_mixed_dumbbell(duration: float = 90.0, **kwargs) -> MixedDumbbellResult:
-    """Build and run the standard scenario for ``duration`` seconds."""
-    result = build_mixed_dumbbell(**kwargs)
-    result.sim.run(until=duration)
-    result.duration = duration
-    return result
-
-
-@dataclass
-class SingleTfrcResult:
-    """One TFRC flow on a controlled-loss pipe."""
-
-    sim: Simulator
-    flow: TfrcFlow
-    path: LossyPath
-    flow_monitor: FlowMonitor
-    duration: float
-
-    def rate_history(self) -> List[Tuple[float, float]]:
-        """(time, allowed rate bytes/s) samples from the sender."""
-        return list(self.flow.sender.rate_history)
-
-
-def run_single_tfrc_on_lossy_path(
-    loss_model: Optional[LossModel],
-    duration: float,
-    rtt: float = 0.1,
-    bandwidth_bps: Optional[float] = None,
-    packet_size: int = 1000,
-    probe: Optional[Callable[[Simulator, TfrcFlow], None]] = None,
-    probe_interval: float = 0.1,
-    **flow_kwargs,
-) -> SingleTfrcResult:
-    """The protocol-mechanics harness (Figures 2, 19-21).
-
-    One TFRC flow runs over an ideal fixed-delay pipe whose only losses come
-    from ``loss_model``.  ``probe(sim, flow)``, if given, is invoked every
-    ``probe_interval`` simulated seconds -- figure modules use it to sample
-    estimator state mid-run.
-    """
-    sim = Simulator()
-    forward = LossyPath(
-        sim, delay=rtt / 2.0, loss_model=loss_model,
-        bandwidth_bps=bandwidth_bps, name="fwd",
-    )
-    reverse = LossyPath(sim, delay=rtt / 2.0, name="rev")
-    monitor = FlowMonitor()
-    flow = TfrcFlow(
-        sim, "tfrc", forward, reverse,
-        packet_size=packet_size, on_data=monitor.on_packet, **flow_kwargs,
-    )
-    flow.start()
-    if probe is not None:
-        def tick() -> None:
-            probe(sim, flow)
-            if sim.now < duration:
-                sim.schedule_in(probe_interval, tick)
-
-        sim.schedule_in(probe_interval, tick)
-    sim.run(until=duration)
-    return SingleTfrcResult(
-        sim=sim, flow=flow, path=forward, flow_monitor=monitor, duration=duration
-    )
-
-
-def steady_state_window(duration: float, fraction: float = 0.5) -> Tuple[float, float]:
-    """Measurement window skipping the warm-up: the last ``fraction`` of the
-    run, mirroring the paper's "last 60 seconds" / "last 100 seconds" usage."""
-    if duration <= 0:
-        raise ValueError("duration must be positive")
-    return duration * (1.0 - fraction), duration
+__all__ = [
+    "RTT_RANGE",
+    "START_RANGE",
+    "MixedDumbbellResult",
+    "SingleTfrcResult",
+    "build_mixed_dumbbell",
+    "run_mixed_dumbbell",
+    "run_single_tfrc_on_lossy_path",
+    "steady_state_window",
+]

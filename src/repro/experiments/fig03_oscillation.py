@@ -14,9 +14,12 @@ state) with and without the adjustment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.cov import coefficient_of_variation
+from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 from repro.analysis.timeseries import arrivals_to_rate_series
 from repro.core import TfrcFlow
 from repro.net.dummynet import DummynetPipe
@@ -88,19 +91,61 @@ def run_one(
     )
 
 
+@register_scenario("fig03_pipe")
+def pipe_scenario(spec: ScenarioSpec) -> JsonDict:
+    """Declarative Figure 3/4 pipe run, executable by the sweep runner."""
+    series, cov, mean = run_one(
+        buffer_packets=int(spec.queue["buffer_packets"]),
+        interpacket_adjustment=bool(spec.flows["interpacket_adjustment"]),
+        duration=spec.duration,
+        bandwidth_bps=float(spec.topology.get("bandwidth_bps", 2e6)),
+        delay=float(spec.topology.get("delay", 0.05)),
+        rtt_ewma_weight=float(spec.extra.get("rtt_ewma_weight", 0.05)),
+        tau=float(spec.extra.get("tau", 0.5)),
+    )
+    return {"series": series, "cov": cov, "mean": mean}
+
+
 def run(
     buffer_sizes: Tuple[int, ...] = (2, 8, 32, 64),
     interpacket_adjustment: bool = False,
     duration: float = 60.0,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
     **kwargs,
 ) -> Fig03Result:
-    """Sweep buffer sizes; ``interpacket_adjustment=True`` gives Figure 4."""
+    """Sweep buffer sizes; ``interpacket_adjustment=True`` gives Figure 4.
+
+    The buffer axis runs through the sweep runner, so ``parallel``/
+    ``cache_dir`` fan out / re-use the per-buffer pipe simulations.
+    """
+    base = ScenarioSpec(
+        scenario="fig03_pipe",
+        duration=duration,
+        flows={"interpacket_adjustment": bool(interpacket_adjustment)},
+        topology={
+            "bandwidth_bps": float(kwargs.pop("bandwidth_bps", 2e6)),
+            "delay": float(kwargs.pop("delay", 0.05)),
+        },
+        extra={
+            "rtt_ewma_weight": float(kwargs.pop("rtt_ewma_weight", 0.05)),
+            "tau": float(kwargs.pop("tau", 0.5)),
+        },
+    )
+    if kwargs:
+        raise TypeError(f"unknown run() arguments: {sorted(kwargs)}")
+    sweep = SweepRunner(
+        base,
+        {"queue.buffer_packets": [int(b) for b in buffer_sizes]},
+        parallel=parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+    ).run()
     result = Fig03Result(buffer_sizes=list(buffer_sizes))
-    for buffer_packets in buffer_sizes:
-        series, cov, mean = run_one(
-            buffer_packets, interpacket_adjustment, duration=duration, **kwargs
-        )
-        result.rate_series[buffer_packets] = series
-        result.cov_by_buffer[buffer_packets] = cov
-        result.mean_rate_by_buffer[buffer_packets] = mean
+    for buffer_packets, cell in zip(buffer_sizes, sweep.cells):
+        assert cell.result is not None
+        result.rate_series[buffer_packets] = list(cell.result["series"])
+        result.cov_by_buffer[buffer_packets] = float(cell.result["cov"])
+        result.mean_rate_by_buffer[buffer_packets] = float(cell.result["mean"])
     return result

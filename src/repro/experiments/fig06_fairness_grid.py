@@ -13,11 +13,19 @@ Figure 7 is the 15 Mb/s column with per-flow scatter, produced by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.common import run_mixed_dumbbell, steady_state_window
+from repro.scenarios import (
+    ScenarioSpec,
+    SweepRunner,
+    register_scenario,
+    run_mixed_dumbbell,
+    steady_state_window,
+)
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 
 
 @dataclass
@@ -88,25 +96,59 @@ def run_cell(
     )
 
 
+@register_scenario("fig06_cell")
+def cell_scenario(spec: ScenarioSpec) -> JsonDict:
+    """Declarative Figure 6 cell, executable by the sweep runner."""
+    cell = run_cell(
+        link_bps=float(spec.topology["bandwidth_bps"]),
+        total_flows=int(spec.flows["total"]),
+        queue_type=str(spec.queue["type"]),
+        duration=spec.duration,
+        seed=spec.seed,
+        measure_fraction=float(spec.extra.get("measure_fraction", 2.0 / 3.0)),
+    )
+    return {
+        "link_bps": cell.link_bps,
+        "total_flows": cell.total_flows,
+        "queue_type": cell.queue_type,
+        "mean_tcp_normalized": cell.mean_tcp_normalized,
+        "mean_tfrc_normalized": cell.mean_tfrc_normalized,
+        "per_flow_tcp": cell.per_flow_tcp,
+        "per_flow_tfrc": cell.per_flow_tfrc,
+        "utilization": cell.utilization,
+        "loss_rate": cell.loss_rate,
+    }
+
+
 def run(
     link_rates_mbps: Sequence[float] = (1, 2, 4, 8, 16, 32, 64),
     flow_counts: Sequence[int] = (2, 8, 32, 128),
     queue_types: Sequence[str] = ("droptail", "red"),
     duration: float = 90.0,
     seed: int = 0,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Fig06Result:
-    """The full fairness grid.  Reduce the sweeps for quicker runs."""
+    """The full fairness grid as a sweep.  Reduce the sweeps for quicker
+    runs; ``parallel=N`` fans the cells out over N worker processes and
+    ``cache_dir`` re-uses previously simulated cells."""
+    base = ScenarioSpec(
+        scenario="fig06_cell",
+        duration=duration,
+        seed=seed,
+        extra={"measure_fraction": 2.0 / 3.0},
+    )
+    grid = {
+        "queue.type": [str(q) for q in queue_types],
+        "topology.bandwidth_bps": [rate * 1e6 for rate in link_rates_mbps],
+        "flows.total": [int(n) for n in flow_counts],
+    }
+    sweep = SweepRunner(
+        base, grid, parallel=parallel, cache_dir=cache_dir, progress=progress
+    ).run()
     result = Fig06Result()
-    for queue_type in queue_types:
-        for rate in link_rates_mbps:
-            for flows in flow_counts:
-                result.cells.append(
-                    run_cell(
-                        link_bps=rate * 1e6,
-                        total_flows=flows,
-                        queue_type=queue_type,
-                        duration=duration,
-                        seed=seed,
-                    )
-                )
+    for cell in sweep.cells:
+        assert cell.result is not None
+        result.cells.append(CellResult(**cell.result))
     return result

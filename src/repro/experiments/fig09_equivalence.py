@@ -13,7 +13,7 @@ plots the mean CoV of TCP and of TFRC flows at the same timescales.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,7 +21,14 @@ from repro.analysis.cov import coefficient_of_variation
 from repro.analysis.equivalence import equivalence_ratio
 from repro.analysis.stats import mean_and_ci
 from repro.analysis.timeseries import arrivals_to_rate_series
-from repro.experiments.common import run_mixed_dumbbell
+from repro.scenarios import (
+    ScenarioSpec,
+    SweepRunner,
+    register_scenario,
+    run_mixed_dumbbell,
+)
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 
 PAPER_TIMESCALES = (0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
 
@@ -49,6 +56,60 @@ def _cross_pairs(a: Sequence[str], b: Sequence[str]) -> List[Tuple[str, str]]:
     return list(zip(a, b))
 
 
+@register_scenario("fig09_replication")
+def replication_scenario(spec: ScenarioSpec) -> JsonDict:
+    """One replicated steady-state run, reduced to per-pair samples.
+
+    Returns tau-keyed (stringified, for JSON round-tripping) sample lists
+    for the three equivalence pairings and the two CoV populations.
+    """
+    timescales = [float(t) for t in spec.extra["timescales"]]
+    measure_seconds = float(spec.extra["measure_seconds"])
+    n_each = int(spec.flows.get("n_each", 16))
+    sim_result = run_mixed_dumbbell(
+        duration=spec.duration,
+        n_tfrc=n_each,
+        n_tcp=n_each,
+        bandwidth_bps=float(spec.topology.get("bandwidth_bps", 15e6)),
+        queue_type=str(spec.queue.get("type", "red")),
+        seed=spec.seed,
+    )
+    out: JsonDict = {
+        "loss_rate": sim_result.link_monitor.loss_rate(),
+        "ee": {}, "cc": {}, "ec": {}, "cov_tcp": {}, "cov_tfrc": {},
+    }
+    t0, t1 = spec.duration - measure_seconds, spec.duration
+    for tau in timescales:
+        series = {
+            fid: arrivals_to_rate_series(
+                sim_result.flow_monitor.arrivals.get(fid, []), t0, t1, tau
+            )
+            for fid in sim_result.tfrc_ids + sim_result.tcp_ids
+        }
+        key = repr(tau)
+        out["ee"][key] = [
+            float(equivalence_ratio(series[a], series[b]))
+            for a, b in _pair_up(sim_result.tfrc_ids)
+        ]
+        out["cc"][key] = [
+            float(equivalence_ratio(series[a], series[b]))
+            for a, b in _pair_up(sim_result.tcp_ids)
+        ]
+        out["ec"][key] = [
+            float(equivalence_ratio(series[a], series[b]))
+            for a, b in _cross_pairs(sim_result.tfrc_ids, sim_result.tcp_ids)
+        ]
+        out["cov_tcp"][key] = [
+            float(coefficient_of_variation(series[fid]))
+            for fid in sim_result.tcp_ids
+        ]
+        out["cov_tfrc"][key] = [
+            float(coefficient_of_variation(series[fid]))
+            for fid in sim_result.tfrc_ids
+        ]
+    return out
+
+
 def run(
     runs: int = 4,
     duration: float = 90.0,
@@ -57,55 +118,45 @@ def run(
     link_bps: float = 15e6,
     timescales: Sequence[float] = PAPER_TIMESCALES,
     seed: int = 0,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Fig09Result:
-    """Run the replicated steady-state scenario.
+    """Run the replicated steady-state scenario as a sweep over seeds.
 
     Defaults are scaled down from the paper's 14 x 150 s to keep runtimes
     sane; pass ``runs=14, duration=150, measure_seconds=100`` for the full
-    configuration.
+    configuration.  The replications are independent cells, so
+    ``parallel=N`` runs them N at a time.
     """
-    timescales = [t for t in timescales if t < measure_seconds / 2]
+    timescales = [float(t) for t in timescales if t < measure_seconds / 2]
+    base = ScenarioSpec(
+        scenario="fig09_replication",
+        duration=duration,
+        seed=seed,
+        flows={"n_each": int(n_each)},
+        topology={"bandwidth_bps": float(link_bps)},
+        queue={"type": "red"},
+        extra={"timescales": timescales, "measure_seconds": float(measure_seconds)},
+    )
+    sweep = SweepRunner(
+        base,
+        {"seed": [seed + run_index for run_index in range(runs)]},
+        parallel=parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+    ).run()
     samples: Dict[str, Dict[float, List[float]]] = {
         key: {tau: [] for tau in timescales}
         for key in ("ee", "cc", "ec", "cov_tcp", "cov_tfrc")
     }
     result = Fig09Result(timescales=list(timescales))
-    for run_index in range(runs):
-        sim_result = run_mixed_dumbbell(
-            duration=duration,
-            n_tfrc=n_each,
-            n_tcp=n_each,
-            bandwidth_bps=link_bps,
-            queue_type="red",
-            seed=seed + run_index,
-        )
-        result.loss_rates.append(sim_result.link_monitor.loss_rate())
-        t0, t1 = duration - measure_seconds, duration
-        for tau in timescales:
-            series = {
-                fid: arrivals_to_rate_series(
-                    sim_result.flow_monitor.arrivals.get(fid, []), t0, t1, tau
-                )
-                for fid in sim_result.tfrc_ids + sim_result.tcp_ids
-            }
-            tfrc_pairs = _pair_up(sim_result.tfrc_ids)
-            tcp_pairs = _pair_up(sim_result.tcp_ids)
-            cross = _cross_pairs(sim_result.tfrc_ids, sim_result.tcp_ids)
-            samples["ee"][tau].extend(
-                equivalence_ratio(series[a], series[b]) for a, b in tfrc_pairs
-            )
-            samples["cc"][tau].extend(
-                equivalence_ratio(series[a], series[b]) for a, b in tcp_pairs
-            )
-            samples["ec"][tau].extend(
-                equivalence_ratio(series[a], series[b]) for a, b in cross
-            )
-            samples["cov_tcp"][tau].extend(
-                coefficient_of_variation(series[fid]) for fid in sim_result.tcp_ids
-            )
-            samples["cov_tfrc"][tau].extend(
-                coefficient_of_variation(series[fid]) for fid in sim_result.tfrc_ids
-            )
+    for cell in sweep.cells:
+        assert cell.result is not None
+        result.loss_rates.append(float(cell.result["loss_rate"]))
+        for key in samples:
+            for tau in timescales:
+                samples[key][tau].extend(cell.result[key][repr(tau)])
     for tau in timescales:
         result.equivalence_tfrc_tfrc[tau] = mean_and_ci(
             [v for v in samples["ee"][tau] if not np.isnan(v)]

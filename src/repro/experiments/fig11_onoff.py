@@ -12,11 +12,14 @@ monitored long-duration flows, one TCP and one TFRC.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.cov import coefficient_of_variation
+from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 from repro.analysis.equivalence import equivalence_ratio
 from repro.analysis.timeseries import arrivals_to_rate_series
 from repro.core import TfrcFlow
@@ -103,14 +106,86 @@ def run_one(
     return result
 
 
+@register_scenario("fig11_onoff")
+def onoff_scenario(spec: ScenarioSpec) -> JsonDict:
+    """One ON/OFF background-traffic configuration as a sweep cell."""
+    run_result = run_one(
+        n_sources=int(spec.flows["sources"]),
+        duration=spec.duration,
+        warmup=float(spec.extra.get("warmup", 20.0)),
+        timescales=[float(t) for t in spec.extra["timescales"]],
+        link_bps=float(spec.topology.get("bandwidth_bps", 15e6)),
+        seed=spec.seed,
+    )
+    return {
+        "sources": run_result.sources,
+        "loss_rate": run_result.loss_rate,
+        "equivalence_by_tau": {
+            repr(t): v for t, v in run_result.equivalence_by_tau.items()
+        },
+        "cov_tcp_by_tau": {
+            repr(t): v for t, v in run_result.cov_tcp_by_tau.items()
+        },
+        "cov_tfrc_by_tau": {
+            repr(t): v for t, v in run_result.cov_tfrc_by_tau.items()
+        },
+        "tcp_throughput_bps": run_result.tcp_throughput_bps,
+        "tfrc_throughput_bps": run_result.tfrc_throughput_bps,
+    }
+
+
 def run(
     source_counts: Sequence[int] = PAPER_SOURCE_COUNTS,
     duration: float = 200.0,
     seed: int = 0,
-    **kwargs,
+    warmup: float = 20.0,
+    timescales: Sequence[float] = PAPER_TIMESCALES,
+    link_bps: float = 15e6,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Fig11Result:
-    """Sweep the number of ON/OFF sources (paper: 5000 s; default reduced)."""
+    """Sweep the number of ON/OFF sources (paper: 5000 s; default reduced).
+
+    Each source count is one sweep cell; ``parallel``/``cache_dir`` fan out
+    and re-use them.
+    """
+    base = ScenarioSpec(
+        scenario="fig11_onoff",
+        duration=duration,
+        seed=seed,
+        topology={"bandwidth_bps": float(link_bps)},
+        extra={
+            "warmup": float(warmup),
+            "timescales": [float(t) for t in timescales],
+        },
+    )
+    sweep = SweepRunner(
+        base,
+        {"flows.sources": [int(count) for count in source_counts]},
+        parallel=parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+    ).run()
     result = Fig11Result()
-    for count in source_counts:
-        result.runs.append(run_one(count, duration=duration, seed=seed, **kwargs))
+    for cell in sweep.cells:
+        data = cell.result
+        assert data is not None
+        result.runs.append(
+            OnOffRunResult(
+                sources=int(data["sources"]),
+                loss_rate=float(data["loss_rate"]),
+                equivalence_by_tau={
+                    float(t): v for t, v in data["equivalence_by_tau"].items()
+                },
+                cov_tcp_by_tau={
+                    float(t): v for t, v in data["cov_tcp_by_tau"].items()
+                },
+                cov_tfrc_by_tau={
+                    float(t): v for t, v in data["cov_tfrc_by_tau"].items()
+                },
+                tcp_throughput_bps=float(data["tcp_throughput_bps"]),
+                tfrc_throughput_bps=float(data["tfrc_throughput_bps"]),
+            )
+        )
     return result

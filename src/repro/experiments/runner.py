@@ -39,13 +39,19 @@ def _fig02(quick: bool, plot: bool = False) -> None:
         print("TX rate trace: " + sparkline(result.tx_rate_bytes, width=64))
 
 
-def _fig03(quick: bool, plot: bool = False) -> None:
+def _fig03(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig03_oscillation as fig03
 
     buffers = (8, 32) if quick else (2, 8, 32, 64)
     duration = 30.0 if quick else 60.0
-    plain = fig03.run(buffer_sizes=buffers, interpacket_adjustment=False, duration=duration)
-    damped = fig03.run(buffer_sizes=buffers, interpacket_adjustment=True, duration=duration)
+    plain = fig03.run(
+        buffer_sizes=buffers, interpacket_adjustment=False, duration=duration,
+        **sweep,
+    )
+    damped = fig03.run(
+        buffer_sizes=buffers, interpacket_adjustment=True, duration=duration,
+        **sweep,
+    )
     print("Figures 3/4 (oscillation CoV without -> with interpacket adjustment)")
     for b in buffers:
         print(
@@ -76,14 +82,14 @@ def _fig05(quick: bool, plot: bool = False) -> None:
                          y_label="loss-event fraction"))
 
 
-def _fig06(quick: bool, plot: bool = False) -> None:
+def _fig06(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig06_fairness_grid as fig06
 
     rates = (8, 16) if quick else (1, 2, 4, 8, 16, 32, 64)
     flows = (8, 32) if quick else (2, 8, 32, 128)
     duration = 60.0 if quick else 90.0
     result = fig06.run(
-        link_rates_mbps=rates, flow_counts=flows, duration=duration
+        link_rates_mbps=rates, flow_counts=flows, duration=duration, **sweep
     )
     print("Figure 6 (normalized TCP throughput vs TFRC)")
     for cell in result.cells:
@@ -105,13 +111,14 @@ def _fig08(quick: bool, plot: bool = False) -> None:
         )
 
 
-def _fig09(quick: bool, plot: bool = False) -> None:
+def _fig09(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig09_equivalence as fig09
 
     result = fig09.run(
         runs=2 if quick else 14,
         duration=60.0 if quick else 150.0,
         measure_seconds=40.0 if quick else 100.0,
+        **sweep,
     )
     print("Figure 9 (equivalence ratio) / Figure 10 (CoV)")
     print("  tau    TFRC/TFRC  TCP/TCP  TFRC/TCP  CoV(TCP)  CoV(TFRC)")
@@ -147,11 +154,13 @@ def _fig09(quick: bool, plot: bool = False) -> None:
         ))
 
 
-def _fig11(quick: bool, plot: bool = False) -> None:
+def _fig11(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig11_onoff as fig11
 
     counts = (60, 100) if quick else fig11.PAPER_SOURCE_COUNTS
-    result = fig11.run(source_counts=counts, duration=100.0 if quick else 200.0)
+    result = fig11.run(
+        source_counts=counts, duration=100.0 if quick else 200.0, **sweep
+    )
     print("Figures 11-13 (ON/OFF background traffic)")
     for run_result in result.runs:
         eq = run_result.equivalence_by_tau
@@ -292,10 +301,34 @@ def main(argv=None) -> int:
         "--plot", action="store_true",
         help="append a plain-text chart of the figure where available",
     )
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="run sweep cells on N worker processes (fig03/06/09/11)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=".tfrc-sweep-cache", default=None,
+        metavar="DIR",
+        help="cache sweep cell results on disk (default dir: "
+        ".tfrc-sweep-cache); cached cells are not re-simulated",
+    )
     args = parser.parse_args(argv)
+    if args.parallel < 1:
+        parser.error("--parallel must be >= 1")
+    sweep_kwargs = {}
+    if args.parallel != 1 or args.cache is not None:
+        from repro.scenarios import print_progress
+
+        sweep_kwargs = {
+            "parallel": args.parallel,
+            "cache_dir": args.cache,
+            "progress": print_progress(),
+        }
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    sweepable = {"fig03", "fig06", "fig09", "fig11"}
     for name in names:
-        EXPERIMENTS[name](args.quick, args.plot)
+        EXPERIMENTS[name](
+            args.quick, args.plot, **(sweep_kwargs if name in sweepable else {})
+        )
         print()
     return 0
 

@@ -5,11 +5,24 @@ attached queue discipline, serialized at ``bandwidth_bps`` (transmission
 delay = size*8/bandwidth), then delivered ``propagation_delay`` seconds later
 to the downstream receiver.  Congestion arises naturally when offered load
 exceeds the service rate and the queue overflows or RED starts dropping.
+
+Two scheduling strategies are implemented:
+
+* the **batched fast path** (default): a single self-rescheduling wakeup
+  loop per link tracks both the packet in service and the in-flight
+  propagation train, using :meth:`Simulator.schedule_fast` entries that
+  allocate no :class:`~repro.sim.engine.Event` handles.  Packet timings are
+  identical to the legacy path; only the scheduler bookkeeping is cheaper.
+* the **legacy per-packet path** (``fastpath=False``): one heap event per
+  transmission completion plus one per delivery, kept as the baseline for
+  ``benchmarks/test_engine_fastpath.py``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from math import inf
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.net.queues import Queue, REDQueue
@@ -28,6 +41,7 @@ class Link:
         propagation_delay: float,
         queue: Queue,
         name: str = "link",
+        fastpath: bool = True,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -38,6 +52,7 @@ class Link:
         self.propagation_delay = float(propagation_delay)
         self.queue = queue
         self.name = name
+        self.fastpath = fastpath
         self._receiver: Optional[Receiver] = None
         self._busy = False
         self.bytes_forwarded = 0
@@ -45,6 +60,14 @@ class Link:
         self._busy_accum = 0.0  # total seconds spent transmitting
         self._tx_started_at: Optional[float] = None
         self._sample_hooks: List[Callable[[float, int], None]] = []
+        # Fast-path state: the packet in service, its finish time, the
+        # propagation train (delivery times are monotone since the finish
+        # times are and the propagation delay is constant), and the time of
+        # the earliest pending wakeup (inf when none is known-pending).
+        self._tx_packet: Optional[Packet] = None
+        self._tx_finish = inf
+        self._in_flight: Deque[Tuple[float, Packet]] = deque()
+        self._armed_time = inf
         if isinstance(queue, REDQueue):
             queue.set_service_rate(self.bandwidth_bps)
 
@@ -72,12 +95,83 @@ class Link:
         accepted = self.queue.enqueue(packet, self.sim.now)
         self._notify_queue_sample()
         if accepted and not self._busy:
-            self._start_transmission()
+            if self.fastpath:
+                self._begin_service()
+            else:
+                self._start_transmission()
         return accepted
 
     def _notify_queue_sample(self) -> None:
-        for hook in self._sample_hooks:
-            hook(self.sim.now, len(self.queue))
+        if self._sample_hooks:
+            now = self.sim.now
+            depth = len(self.queue)
+            for hook in self._sample_hooks:
+                hook(now, depth)
+
+    # ------------------------------------------------------- batched fast path
+
+    def _begin_service(self) -> None:
+        """Dequeue the next packet and put it in service."""
+        packet = self.queue.dequeue(self.sim.now)
+        self._notify_queue_sample()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx = packet.size * 8 / self.bandwidth_bps
+        self._busy_accum += tx
+        self._tx_packet = packet
+        self._tx_finish = self.sim.now + tx
+        self._arm()
+
+    def _arm(self) -> None:
+        """Ensure a wakeup is pending no later than the next due time.
+
+        Stale (redundant) wakeups are possible -- fast-path entries cannot
+        be cancelled -- but :meth:`_wake` is idempotent, so they only cost a
+        no-op pop.  They arise solely when service starts from idle while a
+        propagation train is still in flight.
+        """
+        need = self._tx_finish if self._tx_packet is not None else inf
+        if self._in_flight and self._in_flight[0][0] < need:
+            need = self._in_flight[0][0]
+        if need < self._armed_time:
+            self._armed_time = need
+            self.sim.schedule_fast(need, self._wake)
+
+    def _wake(self) -> None:
+        sim = self.sim
+        now = sim.now
+        if now >= self._armed_time:
+            self._armed_time = inf
+        packet = self._tx_packet
+        in_flight = self._in_flight
+        if packet is not None and self._tx_finish <= now:
+            self.bytes_forwarded += packet.size
+            self.packets_forwarded += 1
+            in_flight.append((self._tx_finish + self.propagation_delay, packet))
+            # Put the next queued packet in service (inlined _begin_service).
+            packet = self.queue.dequeue(now)
+            self._notify_queue_sample()
+            if packet is None:
+                self._tx_packet = None
+                self._tx_finish = inf
+                self._busy = False
+            else:
+                tx = packet.size * 8 / self.bandwidth_bps
+                self._busy_accum += tx
+                self._tx_packet = packet
+                self._tx_finish = now + tx
+        while in_flight and in_flight[0][0] <= now:
+            self._receiver(in_flight.popleft()[1])
+        need = self._tx_finish
+        if in_flight and in_flight[0][0] < need:
+            need = in_flight[0][0]
+        if need < self._armed_time:
+            self._armed_time = need
+            sim.schedule_fast(need, self._wake)
+
+    # ------------------------------------------------ legacy per-packet path
 
     def _start_transmission(self) -> None:
         packet = self.queue.dequeue(self.sim.now)

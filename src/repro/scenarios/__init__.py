@@ -1,0 +1,55 @@
+"""Unified scenario subsystem.
+
+Everything needed to describe, build, and sweep the paper's simulation
+scenarios:
+
+* :mod:`~repro.scenarios.spec` -- the declarative
+  :class:`~repro.scenarios.spec.ScenarioSpec` (topology, flow mix, queue,
+  loss model, seed, duration), stable spec hashing, and the
+  ``@register_scenario`` registry.
+* :mod:`~repro.scenarios.builders` -- the dumbbell / lossy-path scenario
+  builders shared by every figure module, plus registered declarative
+  entry points (``mixed_dumbbell``, ``tfrc_lossy_path``).
+* :mod:`~repro.scenarios.sweep` -- :class:`~repro.scenarios.sweep.SweepRunner`:
+  parameter-grid expansion, deterministic per-cell seeding, process-pool
+  parallelism, progress reporting.
+* :mod:`~repro.scenarios.cache` -- the on-disk JSON result cache keyed by
+  spec hash.
+"""
+
+from repro.scenarios.builders import (
+    MixedDumbbellResult,
+    SingleTfrcResult,
+    build_mixed_dumbbell,
+    run_mixed_dumbbell,
+    run_single_tfrc_on_lossy_path,
+    steady_state_window,
+)
+from repro.scenarios.cache import ResultCache
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+)
+from repro.scenarios.sweep import SweepCell, SweepResult, SweepRunner, print_progress
+
+__all__ = [
+    "MixedDumbbellResult",
+    "ResultCache",
+    "ScenarioSpec",
+    "SingleTfrcResult",
+    "SweepCell",
+    "SweepResult",
+    "SweepRunner",
+    "build_mixed_dumbbell",
+    "get_scenario",
+    "list_scenarios",
+    "print_progress",
+    "register_scenario",
+    "run_mixed_dumbbell",
+    "run_scenario",
+    "run_single_tfrc_on_lossy_path",
+    "steady_state_window",
+]

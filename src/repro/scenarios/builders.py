@@ -1,0 +1,308 @@
+"""Scenario builders: the paper's reusable simulation setups.
+
+Lifted out of ``repro.experiments.common`` so that the experiments layer,
+the sweep runner, and ad-hoc studies all build scenarios from one place:
+
+* :func:`build_mixed_dumbbell` / :func:`run_mixed_dumbbell` -- n TFRC +
+  n TCP flows on a dumbbell (Figures 6-10, 14): random base RTTs
+  U(80,120) ms, staggered starts U(0,10) s, per the section 4.1.2 footnote.
+* :func:`run_single_tfrc_on_lossy_path` -- one TFRC flow on an ideal pipe
+  with a programmable loss model (Figures 2, 19, 20, 21).
+* :class:`MixedDumbbellResult` -- per-flow arrival series plus monitors.
+
+Two declarative entry points are registered with the scenario registry
+(``mixed_dumbbell`` and ``tfrc_lossy_path``) so that sweeps can execute
+them from a :class:`~repro.scenarios.spec.ScenarioSpec` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import TfrcFlow
+from repro.net import Dumbbell, DumbbellConfig
+from repro.net.monitor import FlowMonitor, LinkMonitor
+from repro.net.path import LossyPath, LossModel, bernoulli_loss, periodic_loss
+from repro.scenarios.spec import JsonDict, ScenarioSpec, register_scenario
+from repro.sim import Simulator
+from repro.sim.rng import RngRegistry
+from repro.tcp.flow import TcpFlow
+
+#: The paper's per-flow base RTT range (section 4.1.2): U(80, 120) ms.
+RTT_RANGE = (0.080, 0.120)
+#: Staggered start window: U(0, 10) s.
+START_RANGE = (0.0, 10.0)
+
+
+@dataclass
+class MixedDumbbellResult:
+    """Everything the analysis layer needs from one dumbbell run."""
+
+    sim: Simulator
+    dumbbell: Dumbbell
+    flow_monitor: FlowMonitor
+    link_monitor: LinkMonitor
+    tfrc_flows: List[TfrcFlow] = field(default_factory=list)
+    tcp_flows: List[TcpFlow] = field(default_factory=list)
+    duration: float = 0.0
+
+    @property
+    def tfrc_ids(self) -> List[str]:
+        return [flow.flow_id for flow in self.tfrc_flows]
+
+    @property
+    def tcp_ids(self) -> List[str]:
+        return [flow.flow_id for flow in self.tcp_flows]
+
+    def throughput(self, flow_id: str, t_min: float, t_max: float) -> float:
+        return self.flow_monitor.throughput_bps(flow_id, t_min, t_max)
+
+    def normalized_throughput(
+        self, flow_id: str, t_min: float, t_max: float
+    ) -> float:
+        """Throughput normalized so 1.0 = a fair share of the bottleneck."""
+        n = len(self.tfrc_flows) + len(self.tcp_flows)
+        fair = self.dumbbell.config.bandwidth_bps / max(1, n)
+        return self.throughput(flow_id, t_min, t_max) / fair
+
+
+def build_mixed_dumbbell(
+    n_tfrc: int,
+    n_tcp: int,
+    bandwidth_bps: float = 15e6,
+    queue_type: str = "red",
+    buffer_packets: Optional[int] = None,
+    seed: int = 0,
+    tcp_variant: str = "sack",
+    interpacket_adjustment: bool = True,
+    queue_scaling_bandwidth: Optional[float] = None,
+    sample_queue: bool = False,
+) -> MixedDumbbellResult:
+    """Construct (without running) the standard mixed-traffic dumbbell.
+
+    Queue sizing follows the paper's Figure 6 methodology ("we scale the
+    queue size with the bandwidth"): the buffer is the paper's 100 packets
+    scaled by ``bandwidth / 15 Mb/s`` (at least 5 packets), unless
+    ``buffer_packets`` is given.  RED thresholds scale with the buffer.
+    """
+    if n_tfrc < 0 or n_tcp < 0 or n_tfrc + n_tcp == 0:
+        raise ValueError("need at least one flow")
+    rng_registry = RngRegistry(seed)
+    rng = rng_registry.stream("topology")
+    scale_bw = queue_scaling_bandwidth or bandwidth_bps
+    if buffer_packets is None:
+        buffer_packets = max(5, int(round(100 * scale_bw / 15e6)))
+    config = DumbbellConfig(
+        bandwidth_bps=bandwidth_bps,
+        queue_type=queue_type,
+        buffer_packets=buffer_packets,
+        red_min_thresh=max(2, buffer_packets // 10),
+        red_max_thresh=max(4, buffer_packets // 2),
+    )
+    sim = Simulator()
+    dumbbell = Dumbbell(sim, config, queue_rng=rng_registry.stream("red"))
+    flow_monitor = FlowMonitor()
+    link_monitor = LinkMonitor(
+        sim, dumbbell.forward_link, sample_queue=sample_queue
+    )
+    result = MixedDumbbellResult(
+        sim=sim,
+        dumbbell=dumbbell,
+        flow_monitor=flow_monitor,
+        link_monitor=link_monitor,
+    )
+    staggered_starts: List[Tuple[float, Callable[[], None], tuple]] = []
+    for i in range(n_tfrc):
+        flow_id = f"tfrc-{i}"
+        fwd, rev = dumbbell.attach_flow(flow_id, rng.uniform(*RTT_RANGE))
+        flow = TfrcFlow(
+            sim,
+            flow_id,
+            fwd,
+            rev,
+            on_data=flow_monitor.on_packet,
+            interpacket_adjustment=interpacket_adjustment,
+        )
+        staggered_starts.append((rng.uniform(*START_RANGE), flow.start, ()))
+        result.tfrc_flows.append(flow)
+    for i in range(n_tcp):
+        flow_id = f"tcp-{i}"
+        fwd, rev = dumbbell.attach_flow(flow_id, rng.uniform(*RTT_RANGE))
+        flow = TcpFlow(
+            sim,
+            flow_id,
+            fwd,
+            rev,
+            variant=tcp_variant,
+            on_data=flow_monitor.on_packet,
+        )
+        staggered_starts.append((rng.uniform(*START_RANGE), flow.start, ()))
+        result.tcp_flows.append(flow)
+    # Bulk-seed the staggered flow starts in one O(n) heapify.
+    sim.schedule_batch(staggered_starts)
+    return result
+
+
+def run_mixed_dumbbell(duration: float = 90.0, **kwargs) -> MixedDumbbellResult:
+    """Build and run the standard scenario for ``duration`` seconds."""
+    result = build_mixed_dumbbell(**kwargs)
+    result.sim.run(until=duration)
+    result.duration = duration
+    return result
+
+
+@dataclass
+class SingleTfrcResult:
+    """One TFRC flow on a controlled-loss pipe."""
+
+    sim: Simulator
+    flow: TfrcFlow
+    path: LossyPath
+    flow_monitor: FlowMonitor
+    duration: float
+
+    def rate_history(self) -> List[Tuple[float, float]]:
+        """(time, allowed rate bytes/s) samples from the sender."""
+        return list(self.flow.sender.rate_history)
+
+
+def run_single_tfrc_on_lossy_path(
+    loss_model: Optional[LossModel],
+    duration: float,
+    rtt: float = 0.1,
+    bandwidth_bps: Optional[float] = None,
+    packet_size: int = 1000,
+    probe: Optional[Callable[[Simulator, TfrcFlow], None]] = None,
+    probe_interval: float = 0.1,
+    **flow_kwargs,
+) -> SingleTfrcResult:
+    """The protocol-mechanics harness (Figures 2, 19-21).
+
+    One TFRC flow runs over an ideal fixed-delay pipe whose only losses come
+    from ``loss_model``.  ``probe(sim, flow)``, if given, is invoked every
+    ``probe_interval`` simulated seconds -- figure modules use it to sample
+    estimator state mid-run.
+    """
+    sim = Simulator()
+    forward = LossyPath(
+        sim, delay=rtt / 2.0, loss_model=loss_model,
+        bandwidth_bps=bandwidth_bps, name="fwd",
+    )
+    reverse = LossyPath(sim, delay=rtt / 2.0, name="rev")
+    monitor = FlowMonitor()
+    flow = TfrcFlow(
+        sim, "tfrc", forward, reverse,
+        packet_size=packet_size, on_data=monitor.on_packet, **flow_kwargs,
+    )
+    flow.start()
+    if probe is not None:
+        def tick() -> None:
+            probe(sim, flow)
+            if sim.now < duration:
+                sim.schedule_in(probe_interval, tick)
+
+        sim.schedule_in(probe_interval, tick)
+    sim.run(until=duration)
+    return SingleTfrcResult(
+        sim=sim, flow=flow, path=forward, flow_monitor=monitor, duration=duration
+    )
+
+
+def steady_state_window(duration: float, fraction: float = 0.5) -> Tuple[float, float]:
+    """Measurement window skipping the warm-up: the last ``fraction`` of the
+    run, mirroring the paper's "last 60 seconds" / "last 100 seconds" usage."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return duration * (1.0 - fraction), duration
+
+
+# ------------------------------------------------------ declarative entry points
+
+
+def loss_model_from_spec(
+    loss: Dict[str, object], rng: np.random.Generator
+) -> Optional[LossModel]:
+    """Instantiate a loss model from a spec's ``loss`` mapping.
+
+    Supported: ``{}`` / ``{"model": "none"}`` (lossless),
+    ``{"model": "bernoulli", "probability": p}``, and
+    ``{"model": "periodic", "period": n, "offset": k}``.
+    """
+    model = str(loss.get("model", "none"))
+    if model in ("none", ""):
+        return None
+    if model == "bernoulli":
+        return bernoulli_loss(float(loss.get("probability", 0.01)), rng)
+    if model == "periodic":
+        return periodic_loss(
+            int(loss.get("period", 100)), offset=int(loss.get("offset", 0))
+        )
+    raise ValueError(f"unknown loss model {model!r}")
+
+
+@register_scenario("mixed_dumbbell")
+def mixed_dumbbell_scenario(spec: ScenarioSpec) -> JsonDict:
+    """Declarative mixed dumbbell: summary fairness metrics for one cell.
+
+    Spec layout::
+
+        topology: {bandwidth_bps, queue_scaling_bandwidth?}
+        flows:    {n_tfrc, n_tcp, tcp_variant?, interpacket_adjustment?}
+        queue:    {type, buffer_packets?}
+        extra:    {measure_fraction?}
+    """
+    result = run_mixed_dumbbell(
+        duration=spec.duration,
+        n_tfrc=int(spec.flows.get("n_tfrc", 1)),
+        n_tcp=int(spec.flows.get("n_tcp", 1)),
+        bandwidth_bps=float(spec.topology.get("bandwidth_bps", 15e6)),
+        queue_type=str(spec.queue.get("type", "red")),
+        buffer_packets=spec.queue.get("buffer_packets"),
+        seed=spec.seed,
+        tcp_variant=str(spec.flows.get("tcp_variant", "sack")),
+        interpacket_adjustment=bool(
+            spec.flows.get("interpacket_adjustment", True)
+        ),
+        queue_scaling_bandwidth=spec.topology.get("queue_scaling_bandwidth"),
+    )
+    t0, t1 = steady_state_window(
+        spec.duration, float(spec.extra.get("measure_fraction", 0.5))
+    )
+    return {
+        "tcp_normalized": [
+            result.normalized_throughput(fid, t0, t1) for fid in result.tcp_ids
+        ],
+        "tfrc_normalized": [
+            result.normalized_throughput(fid, t0, t1) for fid in result.tfrc_ids
+        ],
+        "loss_rate": result.link_monitor.loss_rate(),
+        "utilization_seconds": result.dumbbell.forward_link.utilization_seconds,
+    }
+
+
+@register_scenario("tfrc_lossy_path")
+def tfrc_lossy_path_scenario(spec: ScenarioSpec) -> JsonDict:
+    """Declarative single-TFRC-on-lossy-path: throughput and loss summary.
+
+    Spec layout::
+
+        topology: {rtt?, bandwidth_bps?, packet_size?}
+        loss:     {model, ...} (see :func:`loss_model_from_spec`)
+    """
+    rng = RngRegistry(spec.seed).stream("loss")
+    result = run_single_tfrc_on_lossy_path(
+        loss_model=loss_model_from_spec(dict(spec.loss), rng),
+        duration=spec.duration,
+        rtt=float(spec.topology.get("rtt", 0.1)),
+        bandwidth_bps=spec.topology.get("bandwidth_bps"),
+        packet_size=int(spec.topology.get("packet_size", 1000)),
+    )
+    t0, t1 = steady_state_window(spec.duration)
+    return {
+        "throughput_bps": result.flow_monitor.throughput_bps("tfrc", t0, t1),
+        "packets_received": result.flow.receiver.detector.packets_received,
+        "loss_events": len(result.flow.receiver.detector.events),
+    }

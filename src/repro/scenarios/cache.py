@@ -1,0 +1,62 @@
+"""On-disk JSON result cache keyed by scenario spec hash.
+
+One file per cell: ``<cache_dir>/<scenario>-<hash>.json`` holding the spec
+(for human inspection / debugging) and its result.  Writes are atomic
+(tmp file + rename) so a sweep interrupted mid-write never leaves a
+corrupt entry, and corrupt/unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.scenarios.spec import JsonDict, ScenarioSpec
+
+
+class ResultCache:
+    """Spec-hash-keyed store of scenario results."""
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, spec: ScenarioSpec) -> Path:
+        return self.root / f"{spec.scenario}-{spec.spec_hash()}.json"
+
+    def get(self, spec: ScenarioSpec) -> Optional[JsonDict]:
+        """The cached result for ``spec``, or None on a miss."""
+        path = self._path(spec)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        result = payload.get("result")
+        return result if isinstance(result, dict) else None
+
+    def put(self, spec: ScenarioSpec, result: JsonDict) -> Path:
+        """Store ``result`` for ``spec``; returns the entry's path."""
+        path = self._path(spec)
+        payload = {"spec": spec.to_dict(), "result": result}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        tmp.replace(path)
+        return path
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All readable cache entries (spec + result payloads)."""
+        found = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    found.append(json.load(fh))
+            except (OSError, ValueError):
+                continue
+        return found
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

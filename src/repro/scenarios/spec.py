@@ -1,0 +1,159 @@
+"""Declarative scenario specifications and the scenario registry.
+
+A :class:`ScenarioSpec` captures everything needed to reproduce one
+simulation cell -- topology, flow mix, queue discipline, loss model, seed,
+and duration -- as plain JSON-serializable data.  Registered scenario
+functions (see :func:`register_scenario`) map a spec to a JSON-serializable
+result dict, which is what lets the sweep runner execute cells in worker
+processes and cache results on disk keyed by the spec hash.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+JsonDict = Dict[str, Any]
+
+#: A scenario maps a spec to a JSON-serializable result dictionary.
+ScenarioFn = Callable[["ScenarioSpec"], JsonDict]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully specified simulation cell.
+
+    The grouped mappings are free-form parameter namespaces interpreted by
+    the registered scenario function; the spec layer only guarantees they
+    are JSON-serializable and participate in hashing.  ``extra`` holds
+    scenario-specific knobs that fit none of the canonical groups
+    (measurement windows, estimator settings, ...).
+    """
+
+    scenario: str
+    topology: Mapping[str, Any] = field(default_factory=dict)
+    flows: Mapping[str, Any] = field(default_factory=dict)
+    queue: Mapping[str, Any] = field(default_factory=dict)
+    loss: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    duration: float = 60.0
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- serialize
+
+    def to_dict(self) -> JsonDict:
+        """Deep plain-dict form, safe to mutate and JSON-dump."""
+        return {
+            "scenario": self.scenario,
+            "topology": copy.deepcopy(dict(self.topology)),
+            "flows": copy.deepcopy(dict(self.flows)),
+            "queue": copy.deepcopy(dict(self.queue)),
+            "loss": copy.deepcopy(dict(self.loss)),
+            "seed": self.seed,
+            "duration": self.duration,
+            "extra": copy.deepcopy(dict(self.extra)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ScenarioSpec fields: {sorted(unknown)}")
+        if "scenario" not in data:
+            raise ValueError("ScenarioSpec requires a 'scenario' name")
+        return cls(**dict(data))
+
+    def canonical_json(self) -> str:
+        """Key-sorted compact JSON -- the hashing/caching representation."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    def spec_hash(self) -> str:
+        """Stable 16-hex-digit digest identifying this spec (cache key)."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()[:16]
+
+    # -------------------------------------------------------------- override
+
+    def override(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """A new spec with dotted-path overrides applied.
+
+        Keys address either a top-level field (``"seed"``, ``"duration"``)
+        or a nested parameter (``"topology.bandwidth_bps"``,
+        ``"queue.type"``).  Used by the sweep runner to expand grids.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            parts = path.split(".")
+            node: Any = data
+            for part in parts[:-1]:
+                if part not in node or not isinstance(node[part], dict):
+                    node[part] = {}
+                node = node[part]
+            node[parts[-1]] = value
+        return ScenarioSpec.from_dict(data)
+
+    def derive_seed(self, overrides: Mapping[str, Any]) -> int:
+        """Deterministic per-cell seed from the base seed and cell overrides.
+
+        Stable across runs, platforms, and serial/parallel execution, so a
+        sweep cell always sees the same randomness no matter how the grid
+        is executed.
+        """
+        tag = json.dumps(
+            {k: overrides[k] for k in sorted(overrides)},
+            sort_keys=True, separators=(",", ":"), default=str,
+        )
+        return (self.seed * 1_000_003 + zlib.crc32(tag.encode("utf-8"))) & 0x7FFFFFFF
+
+
+# ----------------------------------------------------------------- registry
+
+_REGISTRY: Dict[str, ScenarioFn] = {}
+
+
+def register_scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Class-of-scenario decorator: ``@register_scenario("mixed_dumbbell")``.
+
+    Registered functions take a :class:`ScenarioSpec` and return a
+    JSON-serializable dict.  Registration is idempotent for the *same*
+    function (modules may be re-imported by worker processes) but a name
+    collision between different functions is an error.
+    """
+
+    def decorator(fn: ScenarioFn) -> ScenarioFn:
+        existing = _REGISTRY.get(name)
+        if existing is not None and (
+            existing.__module__ != fn.__module__
+            or existing.__qualname__ != fn.__qualname__
+        ):
+            raise ValueError(f"scenario {name!r} already registered by {existing}")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_scenario(name: str) -> ScenarioFn:
+    """Look up a registered scenario function by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_scenarios() -> List[str]:
+    """Sorted names of all registered scenarios."""
+    return sorted(_REGISTRY)
+
+
+def run_scenario(spec: ScenarioSpec) -> JsonDict:
+    """Execute ``spec`` with its registered scenario function."""
+    return get_scenario(spec.scenario)(spec)

@@ -1,0 +1,217 @@
+"""Parameter-grid sweeps over registered scenarios.
+
+The paper's evaluation is a grid of scenario sweeps (link rates x flow
+counts x queue disciplines x loss models).  :class:`SweepRunner` expands a
+base :class:`~repro.scenarios.spec.ScenarioSpec` against a grid of
+dotted-path overrides into cells, then executes the cells serially or on a
+``ProcessPoolExecutor``, with
+
+* **deterministic seeding** -- cells either share the base seed
+  (``seed_mode="shared"``, the paper's methodology for comparable cells) or
+  derive a stable per-cell seed from the base seed plus the cell's
+  overrides (``seed_mode="derived"``, for replication studies).  Either
+  way, serial and parallel execution of the same sweep produce identical
+  results.
+* **progress reporting** -- an optional callback fired after every cell.
+* **result caching** -- an optional on-disk JSON cache keyed by spec hash,
+  so re-running a sweep only simulates cells whose spec changed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.scenarios.cache import ResultCache
+from repro.scenarios.spec import (
+    JsonDict,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+)
+
+#: progress callback: (cells done, cells total, the cell just finished).
+ProgressFn = Callable[[int, int, "SweepCell"], None]
+
+
+@dataclass
+class SweepCell:
+    """One grid point: its overrides, expanded spec, and (later) result."""
+
+    index: int
+    overrides: Dict[str, Any]
+    spec: ScenarioSpec
+    key: str
+    result: Optional[JsonDict] = None
+    from_cache: bool = False
+    elapsed_seconds: float = 0.0
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.overrides.items())
+        return f"{self.spec.scenario}[{inner}]" if inner else self.spec.scenario
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep, in grid-expansion order."""
+
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def results(self) -> List[JsonDict]:
+        return [cell.result for cell in self.cells if cell.result is not None]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.from_cache)
+
+
+def _execute_remote(
+    module_name: str, spec_dict: Dict[str, Any]
+) -> Tuple[JsonDict, float]:
+    """Worker-side cell execution (module-level, hence picklable).
+
+    Importing the scenario's defining module re-populates the registry in
+    spawn-started workers; under fork it is a no-op lookup.
+    """
+    import importlib
+
+    importlib.import_module(module_name)
+    spec = ScenarioSpec.from_dict(spec_dict)
+    started = time.perf_counter()
+    result = run_scenario(spec)
+    return result, time.perf_counter() - started
+
+
+class SweepRunner:
+    """Expand a parameter grid over a base spec and execute every cell."""
+
+    def __init__(
+        self,
+        base: ScenarioSpec,
+        grid: Optional[Mapping[str, Sequence[Any]]] = None,
+        *,
+        parallel: int = 1,
+        cache_dir: Optional[str] = None,
+        progress: Optional[ProgressFn] = None,
+        seed_mode: str = "shared",
+    ) -> None:
+        if parallel < 1:
+            raise ValueError("parallel must be >= 1")
+        if seed_mode not in ("shared", "derived"):
+            raise ValueError("seed_mode must be 'shared' or 'derived'")
+        self.base = base
+        self.grid: Dict[str, List[Any]] = {
+            key: list(values) for key, values in (grid or {}).items()
+        }
+        for key, values in self.grid.items():
+            if not values:
+                raise ValueError(f"grid axis {key!r} has no values")
+        self.parallel = parallel
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.progress = progress
+        self.seed_mode = seed_mode
+
+    # ------------------------------------------------------------ expansion
+
+    def cells(self) -> List[SweepCell]:
+        """The grid's cells in deterministic expansion order.
+
+        Axes iterate in insertion order, the last axis fastest (standard
+        odometer order), so printed sweep output groups naturally.
+        """
+        axes = list(self.grid.items())
+        combos = itertools.product(*(values for _, values in axes))
+        expanded: List[SweepCell] = []
+        for index, combo in enumerate(combos):
+            overrides = {key: value for (key, _), value in zip(axes, combo)}
+            spec = self.base.override(overrides)
+            if self.seed_mode == "derived" and "seed" not in overrides:
+                spec = spec.override({"seed": self.base.derive_seed(overrides)})
+            expanded.append(
+                SweepCell(
+                    index=index,
+                    overrides=overrides,
+                    spec=spec,
+                    key=spec.spec_hash(),
+                )
+            )
+        return expanded
+
+    # ------------------------------------------------------------ execution
+
+    def run(self) -> SweepResult:
+        """Execute all cells (serial or process-parallel) and return them.
+
+        Cell results are independent of execution order and worker count:
+        each cell's spec (including its seed) is fixed at expansion time.
+        """
+        get_scenario(self.base.scenario)  # fail fast on unknown scenarios
+        cells = self.cells()
+        total = len(cells)
+        done = 0
+        pending: List[SweepCell] = []
+        for cell in cells:
+            cached = self.cache.get(cell.spec) if self.cache else None
+            if cached is not None:
+                cell.result = cached
+                cell.from_cache = True
+                done += 1
+                if self.progress:
+                    self.progress(done, total, cell)
+            else:
+                pending.append(cell)
+
+        if not pending:
+            return SweepResult(cells=cells)
+
+        if self.parallel == 1 or len(pending) == 1:
+            for cell in pending:
+                started = time.perf_counter()
+                cell.result = run_scenario(cell.spec)
+                cell.elapsed_seconds = time.perf_counter() - started
+                self._finish(cell)
+                done += 1
+                if self.progress:
+                    self.progress(done, total, cell)
+            return SweepResult(cells=cells)
+
+        module_name = get_scenario(self.base.scenario).__module__
+        workers = min(self.parallel, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_remote, module_name, cell.spec.to_dict()): cell
+                for cell in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    cell = futures[future]
+                    cell.result, cell.elapsed_seconds = future.result()
+                    self._finish(cell)
+                    done += 1
+                    if self.progress:
+                        self.progress(done, total, cell)
+        return SweepResult(cells=cells)
+
+    def _finish(self, cell: SweepCell) -> None:
+        if self.cache is not None and cell.result is not None:
+            self.cache.put(cell.spec, cell.result)
+
+
+def print_progress(stream=None) -> ProgressFn:
+    """A ready-made progress callback: one status line per finished cell."""
+    import sys
+
+    out = stream if stream is not None else sys.stderr
+
+    def report(done: int, total: int, cell: SweepCell) -> None:
+        source = "cache" if cell.from_cache else f"{cell.elapsed_seconds:.1f}s"
+        print(f"[sweep {done}/{total}] {cell.describe()} ({source})", file=out)
+
+    return report

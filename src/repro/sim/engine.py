@@ -1,16 +1,29 @@
 """Heap-based discrete-event simulation engine.
 
 The engine is the substrate equivalent of the ns-2 scheduler used in the
-paper's evaluation.  Events are ``(time, priority, sequence, callback)``
-tuples kept in a binary heap; the sequence number makes ordering total and
+paper's evaluation.  Heap entries are ``(time, priority, seq, callback,
+args, event)`` tuples; the sequence number makes ordering total and
 deterministic, so two runs with the same seeds produce identical traces.
+
+Tuples (rather than objects) are used as heap entries so that heap sifting
+compares in C instead of calling a Python ``__lt__``.  Two scheduling paths
+exist on top of that representation:
+
+* :meth:`Simulator.schedule` allocates an :class:`Event` handle that can be
+  cancelled later (lazily: the heap entry is skipped when popped).
+* :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_batch` push
+  bare entries with no handle at all.  They cannot be cancelled, but they
+  skip the ``Event`` allocation entirely, which is what the per-link
+  transmit loop in :mod:`repro.net.link` rides on.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+_EMPTY_ARGS: tuple = ()
 
 
 class SimulationError(RuntimeError):
@@ -18,7 +31,7 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A single scheduled callback.
+    """A cancellable handle for one scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` and can be cancelled.
     Cancellation is lazy: the heap entry stays in place and is skipped when
@@ -58,6 +71,10 @@ class Event:
         return f"<Event t={self.time:.6f} prio={self.priority} {state}>"
 
 
+#: One heap entry: (time, priority, seq, callback, args, event-or-None).
+Entry = Tuple[float, int, int, Callable[..., None], tuple, Optional[Event]]
+
+
 class Simulator:
     """Discrete-event simulator with a floating-point clock in seconds.
 
@@ -73,7 +90,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Entry] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -83,6 +100,14 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    def _check_time(self, time: float) -> None:
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule at non-finite time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.9f} before current time {self._now:.9f}"
+            )
 
     def schedule(
         self,
@@ -95,17 +120,14 @@ class Simulator:
 
         ``priority`` breaks ties among events at the same instant (lower runs
         first).  Raises :class:`SimulationError` if ``time`` precedes the
-        current clock or is not finite.
+        current clock or is not finite.  Returns a cancellable handle.
         """
-        if not math.isfinite(time):
-            raise SimulationError(f"cannot schedule at non-finite time {time!r}")
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at {time:.9f} before current time {self._now:.9f}"
-            )
+        self._check_time(time)
         event = Event(time, priority, self._seq, callback, args)
+        heapq.heappush(
+            self._heap, (time, priority, self._seq, callback, args, event)
+        )
         self._seq += 1
-        heapq.heappush(self._heap, event)
         return event
 
     def schedule_in(
@@ -120,15 +142,67 @@ class Simulator:
             raise SimulationError(f"negative delay {delay!r}")
         return self.schedule(self._now + delay, callback, *args, priority=priority)
 
+    def schedule_fast(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Hot-path scheduling: no ``Event`` handle, not cancellable.
+
+        ``callback`` takes no arguments (use a bound method or closure).
+        This is the cheapest way to get a wakeup and is what self-clocking
+        loops (link transmit loops, delivery trains) should use.
+        """
+        self._check_time(time)
+        heapq.heappush(
+            self._heap, (time, priority, self._seq, callback, _EMPTY_ARGS, None)
+        )
+        self._seq += 1
+
+    def schedule_batch(
+        self,
+        items: Iterable[Tuple[float, Callable[..., None], tuple]],
+        priority: int = 0,
+    ) -> int:
+        """Bulk-schedule ``(time, callback, args)`` triples; returns the count.
+
+        All entries share ``priority``; ties within the batch keep the
+        iteration order.  When the batch is at least as large as the pending
+        heap the entries are appended and the heap rebuilt in O(n) instead
+        of n heap-pushes, which is markedly faster for scenario setup
+        (seeding thousands of flow start/arrival events at once).  No
+        handles are returned, so batched entries cannot be cancelled.
+        """
+        staged: List[Entry] = []
+        seq = self._seq
+        for time, callback, args in items:
+            self._check_time(time)
+            staged.append((time, priority, seq, callback, args, None))
+            seq += 1
+        self._seq = seq
+        if not staged:
+            return 0
+        if len(staged) >= len(self._heap):
+            self._heap.extend(staged)
+            heapq.heapify(self._heap)
+        else:
+            push = heapq.heappush
+            heap = self._heap
+            for entry in staged:
+                push(heap, entry)
+        return len(staged)
+
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""
         self._stopped = True
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        while self._heap:
+            event = self._heap[0][5]
+            if event is not None and event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return self._heap[0][0]
+        return None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events in order until the heap drains, ``until`` is reached,
@@ -143,17 +217,20 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+            while heap and not self._stopped:
+                entry = heap[0]
+                event = entry[5]
+                if event is not None and event.cancelled:
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                event.callback(*event.args)
+                heappop(heap)
+                self._now = entry[0]
+                entry[3](*entry[4])
                 self.events_processed += 1
                 processed += 1
                 if max_events is not None and processed >= max_events:
@@ -166,7 +243,10 @@ class Simulator:
 
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(
+            1 for entry in self._heap
+            if entry[5] is None or not entry[5].cancelled
+        )
 
     def reset(self) -> None:
         """Clear the event heap and rewind the clock to zero."""

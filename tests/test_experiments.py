@@ -16,6 +16,8 @@ from repro.experiments import (
 from repro.experiments import internet
 from repro.analysis.predictor import predictor_errors
 
+pytestmark = pytest.mark.slow
+
 
 class TestFig02:
     @pytest.fixture(scope="class")

@@ -51,6 +51,7 @@ class TestBurstMode:
             counts[burst] = len(sent)
         assert counts[2] == pytest.approx(counts[1], abs=3)
 
+    @pytest.mark.slow
     def test_burst_flow_end_to_end(self):
         sim = Simulator()
         forward = LossyPath(sim, delay=0.05)

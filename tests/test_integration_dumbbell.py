@@ -17,6 +17,8 @@ from repro.experiments.common import (
 )
 from repro.net.path import periodic_loss
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def mixed_run():

@@ -90,12 +90,30 @@ class TestAgainstReferenceCounts:
         deliver_pattern(detector, [0, 2, 3, 1, 4, 5, 6, 7])
         assert detector.packets_lost == 0
 
-    def test_four_position_reorder_declared(self):
-        """Beyond the tolerance, a late packet is (wrongly but by design)
-        counted as lost -- matching TCP's 3-dupACK behaviour."""
+    def test_four_position_reorder_declared_then_retracted(self):
+        """Beyond the tolerance a late packet is transiently counted as lost
+        (TCP's 3-dupACK behaviour), but its eventual arrival retracts the
+        declaration -- reordered-but-delivered packets leave no loss."""
         detector = LossEventDetector(rtt_fn=lambda: 0.05, reorder_tolerance=3)
-        deliver_pattern(detector, [0, 2, 3, 4, 5, 1, 6, 7])
+        t = deliver_pattern(detector, [0, 2, 3, 4, 5])
         assert detector.packets_lost == 1
+        assert len(detector.events) == 1
+        deliver_pattern(detector, [1, 6, 7], start=t)
+        assert detector.packets_lost == 0
+        assert detector.events == []
+
+    def test_retraction_keeps_event_with_surviving_losses(self):
+        """Retracting one constituent of a multi-loss event keeps the event
+        alive while any genuinely lost packet remains in it."""
+        detector = LossEventDetector(rtt_fn=lambda: 10.0, reorder_tolerance=3)
+        # Holes 1 and 2 mature together into one event; packet 1 arrives
+        # late (retracted), packet 2 never does (a real loss).
+        t = deliver_pattern(detector, [0, 3, 4, 5])
+        assert detector.packets_lost == 2
+        assert len(detector.events) == 1
+        deliver_pattern(detector, [1, 6, 7], start=t)
+        assert detector.packets_lost == 1
+        assert len(detector.events) == 1
 
 
 class TestIntervalAccounting:

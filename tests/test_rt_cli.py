@@ -58,6 +58,7 @@ class TestParser:
             cli.build_parser().parse_args(["frobnicate"])
 
 
+@pytest.mark.slow
 class TestEndToEnd:
     def test_send_recv_proxy_pipeline(self):
         """recv and proxy as subprocesses, send in-process (one real run)."""

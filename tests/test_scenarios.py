@@ -1,0 +1,248 @@
+"""Tests for the scenarios subsystem: spec/registry, hashing, cache
+round-trips, and sweep determinism (serial vs parallel)."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ResultCache,
+    ScenarioSpec,
+    SweepRunner,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+)
+from repro.scenarios.spec import _REGISTRY
+
+
+@register_scenario("test_echo")
+def _echo_scenario(spec):
+    """Deterministic toy scenario: echoes back derived spec values."""
+    return {
+        "seed": spec.seed,
+        "duration": spec.duration,
+        "x": spec.extra.get("x", 0),
+        "product": spec.seed * spec.extra.get("x", 0),
+    }
+
+
+class TestSpec:
+    def test_round_trips_through_dict(self):
+        spec = ScenarioSpec(
+            "mixed_dumbbell",
+            topology={"bandwidth_bps": 2e6},
+            flows={"n_tfrc": 2, "n_tcp": 2},
+            queue={"type": "red"},
+            loss={"model": "none"},
+            seed=7,
+            duration=30.0,
+            extra={"measure_fraction": 0.5},
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_dict({"scenario": "x", "bogus": 1})
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_dict({"duration": 1.0})
+
+    def test_hash_stable_and_sensitive(self):
+        spec = ScenarioSpec("test_echo", seed=1, extra={"x": 3})
+        same = ScenarioSpec.from_dict(spec.to_dict())
+        assert spec.spec_hash() == same.spec_hash()
+        assert spec.spec_hash() != spec.override({"seed": 2}).spec_hash()
+        assert spec.spec_hash() != spec.override({"extra.x": 4}).spec_hash()
+
+    def test_hash_survives_json_round_trip(self):
+        spec = ScenarioSpec("test_echo", topology={"bw": 1.5e6}, seed=3)
+        reloaded = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert reloaded.spec_hash() == spec.spec_hash()
+
+    def test_override_dotted_paths(self):
+        spec = ScenarioSpec("test_echo", topology={"bw": 1e6, "delay": 0.1})
+        new = spec.override({"topology.bw": 2e6, "seed": 9, "duration": 5.0})
+        assert new.topology == {"bw": 2e6, "delay": 0.1}
+        assert (new.seed, new.duration) == (9, 5.0)
+        # the original is untouched
+        assert spec.topology["bw"] == 1e6 and spec.seed == 0
+
+    def test_derive_seed_deterministic_and_distinct(self):
+        spec = ScenarioSpec("test_echo", seed=5)
+        a = spec.derive_seed({"flows.total": 8})
+        assert a == spec.derive_seed({"flows.total": 8})
+        assert a != spec.derive_seed({"flows.total": 16})
+        assert a != ScenarioSpec("test_echo", seed=6).derive_seed(
+            {"flows.total": 8}
+        )
+
+
+class TestRegistry:
+    def test_known_scenarios_registered(self):
+        # builders register these at import time
+        assert {"mixed_dumbbell", "tfrc_lossy_path"} <= set(list_scenarios())
+
+    def test_figure_scenarios_registered_on_import(self):
+        from repro.experiments import (  # noqa: F401
+            fig03_oscillation,
+            fig06_fairness_grid,
+            fig09_equivalence,
+            fig11_onoff,
+        )
+
+        assert {
+            "fig03_pipe", "fig06_cell", "fig09_replication", "fig11_onoff"
+        } <= set(list_scenarios())
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            get_scenario("no_such_scenario")
+
+    def test_reregistering_same_function_is_idempotent(self):
+        register_scenario("test_echo")(_echo_scenario)
+        assert get_scenario("test_echo") is _echo_scenario
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(ValueError):
+            @register_scenario("test_echo")
+            def _other(spec):  # pragma: no cover - never runs
+                return {}
+
+        assert _REGISTRY["test_echo"] is _echo_scenario
+
+    def test_run_scenario_dispatches(self):
+        result = run_scenario(ScenarioSpec("test_echo", seed=4, extra={"x": 2}))
+        assert result == {"seed": 4, "duration": 60.0, "x": 2, "product": 8}
+
+
+class TestCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = ScenarioSpec("test_echo", seed=1, extra={"x": 2})
+        assert cache.get(spec) is None
+        cache.put(spec, {"value": 42})
+        assert cache.get(spec) == {"value": 42}
+        assert len(cache) == 1
+        entries = cache.entries()
+        assert entries[0]["spec"]["scenario"] == "test_echo"
+
+    def test_different_specs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = ScenarioSpec("test_echo", seed=1)
+        b = ScenarioSpec("test_echo", seed=2)
+        cache.put(a, {"who": "a"})
+        cache.put(b, {"who": "b"})
+        assert cache.get(a) == {"who": "a"}
+        assert cache.get(b) == {"who": "b"}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ScenarioSpec("test_echo", seed=1)
+        path = cache.put(spec, {"value": 1})
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(spec) is None
+
+
+class TestSweepRunner:
+    BASE = ScenarioSpec("test_echo", seed=3)
+    GRID = {"extra.x": [1, 2, 3], "seed": [10, 20]}
+
+    def test_expansion_order_and_overrides(self):
+        cells = SweepRunner(self.BASE, self.GRID).cells()
+        assert [c.overrides for c in cells] == [
+            {"extra.x": 1, "seed": 10}, {"extra.x": 1, "seed": 20},
+            {"extra.x": 2, "seed": 10}, {"extra.x": 2, "seed": 20},
+            {"extra.x": 3, "seed": 10}, {"extra.x": 3, "seed": 20},
+        ]
+        assert len({c.key for c in cells}) == len(cells)
+
+    def test_serial_matches_parallel(self):
+        serial = SweepRunner(self.BASE, self.GRID, parallel=1).run()
+        parallel = SweepRunner(self.BASE, self.GRID, parallel=3).run()
+        assert [c.result for c in serial.cells] == [
+            c.result for c in parallel.cells
+        ]
+
+    def test_shared_seed_mode_keeps_base_seed(self):
+        cells = SweepRunner(self.BASE, {"extra.x": [1, 2]}).cells()
+        assert [c.spec.seed for c in cells] == [3, 3]
+
+    def test_derived_seed_mode_is_deterministic(self):
+        first = SweepRunner(
+            self.BASE, {"extra.x": [1, 2]}, seed_mode="derived"
+        ).cells()
+        second = SweepRunner(
+            self.BASE, {"extra.x": [1, 2]}, seed_mode="derived"
+        ).cells()
+        assert [c.spec.seed for c in first] == [c.spec.seed for c in second]
+        assert first[0].spec.seed != first[1].spec.seed
+        # explicit seed axes are respected verbatim
+        explicit = SweepRunner(
+            self.BASE, {"seed": [7, 8]}, seed_mode="derived"
+        ).cells()
+        assert [c.spec.seed for c in explicit] == [7, 8]
+
+    def test_cache_hits_skip_execution(self, tmp_path):
+        cache_dir = str(tmp_path / "sweep")
+        first = SweepRunner(self.BASE, self.GRID, cache_dir=cache_dir).run()
+        assert first.cache_hits == 0
+        second = SweepRunner(self.BASE, self.GRID, cache_dir=cache_dir).run()
+        assert second.cache_hits == len(second.cells)
+        assert [c.result for c in first.cells] == [
+            c.result for c in second.cells
+        ]
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        SweepRunner(
+            self.BASE, {"extra.x": [1, 2, 3]},
+            progress=lambda done, total, cell: seen.append((done, total)),
+        ).run()
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            SweepRunner(self.BASE, parallel=0)
+        with pytest.raises(ValueError):
+            SweepRunner(self.BASE, seed_mode="weird")
+        with pytest.raises(ValueError):
+            SweepRunner(self.BASE, {"extra.x": []})
+        with pytest.raises(KeyError):
+            SweepRunner(ScenarioSpec("missing_scenario")).run()
+
+
+class TestDumbbellSweepDeterminism:
+    """End-to-end: a real (tiny) simulation sweep is reproducible and
+    identical across serial and process-parallel execution."""
+
+    BASE = ScenarioSpec(
+        "mixed_dumbbell",
+        topology={"bandwidth_bps": 1.5e6},
+        flows={"n_tfrc": 1, "n_tcp": 1},
+        queue={"type": "red"},
+        duration=8.0,
+        seed=11,
+    )
+    GRID = {"queue.type": ["red", "droptail"]}
+
+    @pytest.mark.slow
+    def test_same_seeds_identical_results_serial_vs_parallel(self):
+        serial = SweepRunner(self.BASE, self.GRID, parallel=1).run()
+        parallel = SweepRunner(self.BASE, self.GRID, parallel=2).run()
+        assert [c.result for c in serial.cells] == [
+            c.result for c in parallel.cells
+        ]
+        rerun = SweepRunner(self.BASE, self.GRID, parallel=1).run()
+        assert [c.result for c in serial.cells] == [
+            c.result for c in rerun.cells
+        ]
+
+    @pytest.mark.slow
+    def test_cache_round_trip_preserves_results(self, tmp_path):
+        cache_dir = str(tmp_path)
+        live = SweepRunner(self.BASE, self.GRID, cache_dir=cache_dir).run()
+        cached = SweepRunner(self.BASE, self.GRID, cache_dir=cache_dir).run()
+        assert cached.cache_hits == 2
+        # JSON round trip preserves every metric bit-for-bit
+        assert [c.result for c in live.cells] == [c.result for c in cached.cells]
