@@ -1,0 +1,15 @@
+"""Mark every perf-trajectory benchmark ``slow`` (same policy as the
+figure benchmarks one directory up: ``pytest -m "not slow"`` stays the
+sub-minute smoke tier)."""
+
+import os
+
+import pytest
+
+PERF_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if os.path.dirname(os.path.abspath(str(item.fspath))) == PERF_DIR:
+            item.add_marker(pytest.mark.slow)

@@ -1,0 +1,132 @@
+"""Perf-trajectory benchmarks: the endpoint fast path earns its keep.
+
+Two layers of assertion:
+
+* the committed ``BENCH_PR2.json`` (the repo's perf trajectory) must
+  record a >= 1.5x fast/legacy speedup on the endpoint-heavy dumbbell at
+  full scale -- the PR-2 acceptance number;
+* a live measurement (skipped on shared CI runners, like the engine
+  fast-path bench) must reproduce a healthy speedup on this machine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.perf.bench import check_against_baseline, run_cell
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+BENCH_FILE = os.path.join(REPO_ROOT, "BENCH_PR2.json")
+
+skip_timing_on_ci = pytest.mark.skipif(
+    os.environ.get("CI", "").lower() in ("1", "true"),
+    reason="wall-clock performance ratios are unreliable on shared CI runners",
+)
+
+
+class TestCommittedTrajectory:
+    def test_bench_file_committed_and_well_formed(self):
+        assert os.path.exists(BENCH_FILE), (
+            "BENCH_PR2.json missing: regenerate with "
+            "`tfrc-bench --suite all --isolate --output BENCH_PR2.json`"
+        )
+        with open(BENCH_FILE) as fh:
+            report = json.load(fh)
+        assert report["schema"] == "tfrc-bench/v1"
+        for scale in ("smoke", "full"):
+            scenarios = report["suites"][scale]
+            for name in (
+                "dumbbell_steady", "fig06_grid_cell", "onoff_churn", "red_ecn"
+            ):
+                cell = scenarios[name]
+                for mode in ("fast", "legacy"):
+                    assert cell[mode]["events"] > 0
+                    assert cell[mode]["wall_seconds"] > 0
+                    assert cell[mode]["events_per_sec"] > 0
+                assert cell["speedup"] > 0
+
+    def test_acceptance_speedup_on_endpoint_heavy_dumbbell(self):
+        """PR-2 acceptance: >= 1.5x events/sec vs the PR-1 legacy path on
+        the endpoint-heavy dumbbell, as recorded in the committed
+        trajectory (speedup is the wall ratio over a byte-identical
+        workload, i.e. the normalized events/sec ratio)."""
+        with open(BENCH_FILE) as fh:
+            report = json.load(fh)
+        speedup = report["suites"]["full"]["dumbbell_steady"]["speedup"]
+        assert speedup >= 1.5, (
+            f"committed dumbbell_steady speedup {speedup:.2f}x < 1.5x"
+        )
+
+
+class TestLiveSpeedup:
+    @skip_timing_on_ci
+    def test_endpoint_fastpath_speedup_live(self, capsys):
+        """Re-measure the acceptance scenario on this machine."""
+        fast = run_cell("dumbbell_steady", "full", True, repeats=2)
+        legacy = run_cell("dumbbell_steady", "full", False, repeats=2)
+        speedup = legacy["wall_seconds"] / fast["wall_seconds"]
+        with capsys.disabled():
+            print(
+                f"\n[endpoint-fastpath] fast {fast['events_per_sec']:,.0f} "
+                f"ev/s, legacy {legacy['events_per_sec']:,.0f} ev/s, "
+                f"speedup {speedup:.2f}x"
+            )
+        assert speedup >= 1.5, (
+            f"endpoint fast path only {speedup:.2f}x the legacy path"
+        )
+
+
+class TestRegressionGate:
+    def test_check_against_baseline_flags_regressions(self):
+        baseline = {
+            "suites": {"smoke": {"dumbbell_steady": {"speedup": 1.6}}}
+        }
+        ok = {
+            "suites": {"smoke": {"dumbbell_steady": {"speedup": 1.3}}}
+        }
+        bad = {
+            "suites": {"smoke": {"dumbbell_steady": {"speedup": 1.1}}}
+        }
+        assert check_against_baseline(ok, baseline, tolerance=0.25) == []
+        failures = check_against_baseline(bad, baseline, tolerance=0.25)
+        assert len(failures) == 1
+        assert "dumbbell_steady" in failures[0]
+
+    def test_check_skips_unknown_scenarios_but_not_vacuously(self):
+        baseline = {
+            "suites": {
+                "full": {
+                    "other": {"speedup": 9.0},
+                    "dumbbell_steady": {"speedup": 1.0},
+                }
+            }
+        }
+        report = {
+            "suites": {
+                "smoke": {"dumbbell_steady": {"speedup": 0.1}},
+                "full": {"dumbbell_steady": {"speedup": 1.0}},
+            }
+        }
+        # Baseline-only 'other' and baseline-less 'smoke' are skipped, but
+        # the overlapping full/dumbbell_steady cell still gets compared.
+        assert check_against_baseline(report, baseline) == []
+
+    def test_check_fails_when_nothing_overlaps(self):
+        """A gate that compared zero cells must not report a pass."""
+        baseline = {"suites": {"full": {"other": {"speedup": 9.0}}}}
+        report = {"suites": {"smoke": {"dumbbell_steady": {"speedup": 2.0}}}}
+        failures = check_against_baseline(report, baseline)
+        assert len(failures) == 1
+        assert "zero cells" in failures[0]
+
+    def test_smoke_suite_regression_vs_committed_baseline(self):
+        """The CI gate, exercised in-process on the committed file."""
+        with open(BENCH_FILE) as fh:
+            baseline = json.load(fh)
+        # The committed file compared against itself never regresses.
+        assert check_against_baseline(baseline, baseline, tolerance=0.0) == []

@@ -51,6 +51,9 @@ class TfrcFlow:
         ):
             if key in sender_kwargs:
                 receiver_kwargs[key] = sender_kwargs.pop(key)
+        # Both halves share the timer implementation choice.
+        if "fast_timers" in sender_kwargs:
+            receiver_kwargs["fast_timers"] = sender_kwargs["fast_timers"]
         self.sender = TfrcSender(
             sim,
             flow_id,

@@ -17,15 +17,16 @@ The receiver (paper section 3.3):
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.core.equations import invert_response
 from repro.core.loss_events import LossEvent, LossEventDetector
 from repro.core.loss_intervals import AverageLossIntervals
 from repro.net.packet import Packet, PacketType
 from repro.sim.engine import Simulator
-from repro.sim.process import Timer
+from repro.sim.process import make_timer
 
 FeedbackSender = Callable[[Packet], None]
 
@@ -69,6 +70,7 @@ class TfrcReceiver:
         reorder_tolerance: int = 3,
         on_data: Optional[Callable[[float, Packet], None]] = None,
         feedback_interval_rtts: float = 1.0,
+        fast_timers: bool = True,
     ) -> None:
         if feedback_interval_rtts <= 0:
             raise ValueError("feedback_interval_rtts must be positive")
@@ -92,8 +94,16 @@ class TfrcReceiver:
         self._rtt_from_sender = 0.0
         self._last_packet: Optional[Packet] = None
         self._last_packet_recv_time = 0.0
-        self._feedback_timer = Timer(sim, self._feedback_due)
-        self._arrivals: List[Tuple[float, int]] = []  # (time, bytes) window
+        self.fast_timers = fast_timers
+        self._feedback_timer = make_timer(sim, self._feedback_due, fast_timers)
+        # Receive-rate window.  Fast path: arrivals are pruned incrementally
+        # from the left and the byte total is a running (exact, integer)
+        # sum, so the per-feedback cost is amortized O(1).  Legacy path
+        # (PR-1 baseline): the window list is rebuilt and re-summed on every
+        # query.  Totals are integer either way, so both paths report
+        # bit-identical receive rates.
+        self._arrivals: Deque[Tuple[float, int]] = deque()
+        self._arrival_bytes = 0
         self._history_seeded = False
         self.feedback_sent = 0
         self.first_packet_seen = False
@@ -111,9 +121,15 @@ class TfrcReceiver:
         """Bytes/second received over the last measurement window."""
         window = self._measurement_window()
         cutoff = self.sim.now - window
-        self._arrivals = [(t, b) for t, b in self._arrivals if t >= cutoff]
-        total = sum(b for _, b in self._arrivals)
-        return total / window
+        arrivals = self._arrivals
+        if self.fast_timers:
+            while arrivals and arrivals[0][0] < cutoff:
+                self._arrival_bytes -= arrivals.popleft()[1]
+            return self._arrival_bytes / window
+        kept = deque((t, b) for t, b in arrivals if t >= cutoff)
+        self._arrivals = kept
+        self._arrival_bytes = sum(b for _, b in kept)
+        return self._arrival_bytes / window
 
     def loss_event_rate(self) -> float:
         return self.intervals.loss_event_rate()
@@ -130,6 +146,7 @@ class TfrcReceiver:
         if self.on_data is not None:
             self.on_data(self.sim.now, packet)
         self._arrivals.append((self.sim.now, packet.size))
+        self._arrival_bytes += packet.size
         self._last_packet = packet
         self._last_packet_recv_time = self.sim.now
 

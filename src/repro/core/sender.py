@@ -23,13 +23,13 @@ Responsibilities (paper sections 3.2 and 3.4):
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.equations import tcp_response_rate
 from repro.core.receiver import TfrcFeedback
 from repro.net.packet import Packet, PacketType
 from repro.sim.engine import Simulator
-from repro.sim.process import Timer
+from repro.sim.process import make_timer
 from repro.sim.trace import Tracer
 
 PacketSender = Callable[[Packet], None]
@@ -65,6 +65,8 @@ class TfrcSender:
         quiescence_aware: bool = False,
         ecn: bool = False,
         burst_size: int = 1,
+        fast_timers: bool = True,
+        max_rate_history: Optional[int] = None,
     ) -> None:
         if not 0 < rtt_ewma_weight <= 1:
             raise ValueError("rtt_ewma_weight must be in (0, 1]")
@@ -98,8 +100,13 @@ class TfrcSender:
         self.last_feedback: Optional[TfrcFeedback] = None
 
         self._seq = 0
-        self._send_timer = Timer(sim, self._send_next)
-        self._no_feedback_timer = Timer(sim, self._no_feedback_expired)
+        #: use the generation-counter fast timers (PR-2 endpoint fast path);
+        #: ``False`` pins the legacy Event-allocating timers for baselines.
+        self.fast_timers = fast_timers
+        self._send_timer = make_timer(sim, self._send_next, fast_timers)
+        self._no_feedback_timer = make_timer(
+            sim, self._no_feedback_expired, fast_timers
+        )
         self._started = False
         self._stopped = False
         self._app_active = True
@@ -107,7 +114,15 @@ class TfrcSender:
         # Statistics.
         self.packets_sent = 0
         self.feedback_received = 0
-        self.rate_history = []  # (time, bytes_per_second) on every change
+        #: (time, bytes_per_second) on every allowed-rate change.  When
+        #: ``max_rate_history`` is set, exceeding it halves the history by
+        #: decimation (every other interior sample is dropped, endpoints
+        #: kept), bounding memory on long runs the way the loss detector's
+        #: retraction window bounds its bookkeeping.
+        self.rate_history: List[Tuple[float, float]] = []
+        if max_rate_history is not None and max_rate_history < 4:
+            raise ValueError("max_rate_history must be >= 4 (or None)")
+        self.max_rate_history = max_rate_history
 
     # ------------------------------------------------------------------ API
 
@@ -269,6 +284,12 @@ class TfrcSender:
         self._arm_no_feedback_timer()
 
     def _record_rate(self) -> None:
-        self.rate_history.append((self.sim.now, self.rate))
+        history = self.rate_history
+        history.append((self.sim.now, self.rate))
+        if self.max_rate_history is not None and len(history) > self.max_rate_history:
+            # Progressive decimation: each overflow halves the resolution of
+            # the retained trajectory while keeping the first and latest
+            # samples exact.
+            del history[1:-1:2]
         if self.tracer is not None:
             self.tracer.record(self.sim.now, "rate", self.flow_id, self.rate)

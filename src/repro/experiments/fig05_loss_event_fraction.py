@@ -6,13 +6,16 @@ loss probability, showing the two nearly coincide at low and high loss and
 differ by at most ~10% at moderate loss.
 
 This module evaluates the self-consistent analytic mapping of section 3.5.1
-and cross-checks it with a Monte-Carlo packet stream.
+and cross-checks it with a Monte-Carlo packet stream.  Each rate multiplier
+is one cell of a :class:`~repro.scenarios.sweep.SweepRunner` sweep over the
+registered ``fig05_curve`` scenario, so ``--parallel`` / ``--cache`` come
+for free and Monte-Carlo streams are seeded deterministically per cell.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,6 +24,11 @@ from repro.analysis.bernoulli import (
     packets_per_rtt_from_equation,
     simulate_loss_event_fraction,
 )
+from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
+
+DEFAULT_P_LOSS = tuple(np.linspace(0.005, 0.25, 25))
 
 
 @dataclass
@@ -41,39 +49,100 @@ class Fig05Result:
         return max(gaps) if gaps else 0.0
 
 
+@register_scenario("fig05_curve")
+def curve_scenario(spec: ScenarioSpec) -> JsonDict:
+    """One Figure 5 curve (one rate multiplier) as a sweep cell.
+
+    Spec layout::
+
+        topology: {rtt?, packet_size?}
+        flows:    {rate_multiplier}
+        extra:    {p_loss_values, monte_carlo?, mc_packets?}
+    """
+    p_loss_values = [float(p) for p in spec.extra["p_loss_values"]]
+    multiplier = float(spec.flows.get("rate_multiplier", 1.0))
+    rtt = float(spec.topology.get("rtt", 0.1))
+    packet_size = int(spec.topology.get("packet_size", 1000))
+    analytic = [
+        consistent_loss_event_fraction(
+            p_loss, packet_size=packet_size, rtt=rtt, rate_multiplier=multiplier
+        )
+        for p_loss in p_loss_values
+    ]
+    result: JsonDict = {
+        "rate_multiplier": multiplier,
+        "p_loss_values": p_loss_values,
+        "analytic": analytic,
+    }
+    if bool(spec.extra.get("monte_carlo", True)):
+        rng = np.random.default_rng(spec.seed)
+        mc_packets = int(spec.extra.get("mc_packets", 100_000))
+        simulated = []
+        for p_loss, p_event in zip(p_loss_values, analytic):
+            n = packets_per_rtt_from_equation(
+                max(p_event, 1e-6),
+                packet_size=packet_size,
+                rtt=rtt,
+                rate_multiplier=multiplier,
+            )
+            simulated.append(
+                simulate_loss_event_fraction(
+                    p_loss, max(n, 1.0), total_packets=mc_packets, rng=rng
+                )
+            )
+        result["monte_carlo"] = simulated
+    return result
+
+
 def run(
-    p_loss_values: Sequence[float] = tuple(np.linspace(0.005, 0.25, 25)),
+    p_loss_values: Sequence[float] = DEFAULT_P_LOSS,
     multipliers: Sequence[float] = (0.5, 1.0, 2.0),
     monte_carlo: bool = True,
     mc_packets: int = 100_000,
     rtt: float = 0.1,
     packet_size: int = 1000,
     seed: int = 0,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Fig05Result:
-    """Compute the Figure 5 curves."""
-    result = Fig05Result(p_loss_values=list(p_loss_values))
-    rng = np.random.default_rng(seed)
-    for multiplier in multipliers:
-        analytic = [
-            consistent_loss_event_fraction(
-                p_loss, packet_size=packet_size, rtt=rtt, rate_multiplier=multiplier
-            )
-            for p_loss in p_loss_values
+    """Compute the Figure 5 curves as a sweep over rate multipliers.
+
+    Each multiplier is one cell; ``parallel=N`` fans cells out over worker
+    processes and ``cache_dir`` re-uses previously computed curves.  Cells
+    derive their Monte-Carlo seed from ``seed`` plus the cell overrides
+    (``seed_mode="derived"``), so results are independent of execution
+    order and worker count.
+    """
+    base = ScenarioSpec(
+        scenario="fig05_curve",
+        seed=seed,
+        duration=0.0,  # analytic + Monte-Carlo: no simulated clock
+        topology={"rtt": float(rtt), "packet_size": int(packet_size)},
+        extra={
+            "p_loss_values": [float(p) for p in p_loss_values],
+            "monte_carlo": bool(monte_carlo),
+            "mc_packets": int(mc_packets),
+        },
+    )
+    sweep = SweepRunner(
+        base,
+        {"flows.rate_multiplier": [float(m) for m in multipliers]},
+        parallel=parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+        seed_mode="derived",
+    ).run()
+    result = Fig05Result(p_loss_values=[float(p) for p in p_loss_values])
+    for cell in sweep.cells:
+        data = cell.result
+        assert data is not None
+        multiplier = float(data["rate_multiplier"])
+        result.p_event_by_multiplier[multiplier] = [
+            float(v) for v in data["analytic"]
         ]
-        result.p_event_by_multiplier[multiplier] = analytic
-        if monte_carlo:
-            simulated = []
-            for p_loss, p_event in zip(p_loss_values, analytic):
-                n = packets_per_rtt_from_equation(
-                    max(p_event, 1e-6),
-                    packet_size=packet_size,
-                    rtt=rtt,
-                    rate_multiplier=multiplier,
-                )
-                simulated.append(
-                    simulate_loss_event_fraction(
-                        p_loss, max(n, 1.0), total_packets=mc_packets, rng=rng
-                    )
-                )
-            result.p_event_monte_carlo[multiplier] = simulated
+        if "monte_carlo" in data:
+            result.p_event_monte_carlo[multiplier] = [
+                float(v) for v in data["monte_carlo"]
+            ]
     return result

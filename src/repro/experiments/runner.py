@@ -60,10 +60,10 @@ def _fig03(quick: bool, plot: bool = False, **sweep: object) -> None:
         )
 
 
-def _fig05(quick: bool, plot: bool = False) -> None:
+def _fig05(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig05_loss_event_fraction as fig05
 
-    result = fig05.run(monte_carlo=not quick)
+    result = fig05.run(monte_carlo=not quick, **sweep)
     print("Figure 5 (loss-event fraction vs loss probability)")
     for multiplier, curve in sorted(result.p_event_by_multiplier.items()):
         gap = result.max_relative_gap(multiplier)
@@ -303,7 +303,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--parallel", type=int, default=1, metavar="N",
-        help="run sweep cells on N worker processes (fig03/06/09/11)",
+        help="run sweep cells on N worker processes (fig03/05/06/09/11)",
     )
     parser.add_argument(
         "--cache", nargs="?", const=".tfrc-sweep-cache", default=None,
@@ -324,7 +324,7 @@ def main(argv=None) -> int:
             "progress": print_progress(),
         }
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    sweepable = {"fig03", "fig06", "fig09", "fig11"}
+    sweepable = {"fig03", "fig05", "fig06", "fig09", "fig11"}
     for name in names:
         EXPERIMENTS[name](
             args.quick, args.plot, **(sweep_kwargs if name in sweepable else {})

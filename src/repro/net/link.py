@@ -93,7 +93,8 @@ class Link:
         if self._receiver is None:
             raise RuntimeError(f"link {self.name} has no receiver connected")
         accepted = self.queue.enqueue(packet, self.sim.now)
-        self._notify_queue_sample()
+        if self._sample_hooks:
+            self._notify_queue_sample()
         if accepted and not self._busy:
             if self.fastpath:
                 self._begin_service()
@@ -102,18 +103,20 @@ class Link:
         return accepted
 
     def _notify_queue_sample(self) -> None:
-        if self._sample_hooks:
-            now = self.sim.now
-            depth = len(self.queue)
-            for hook in self._sample_hooks:
-                hook(now, depth)
+        # Call sites pre-check ``self._sample_hooks`` so unmonitored links
+        # skip the call entirely.
+        now = self.sim.now
+        depth = len(self.queue)
+        for hook in self._sample_hooks:
+            hook(now, depth)
 
     # ------------------------------------------------------- batched fast path
 
     def _begin_service(self) -> None:
         """Dequeue the next packet and put it in service."""
         packet = self.queue.dequeue(self.sim.now)
-        self._notify_queue_sample()
+        if self._sample_hooks:
+            self._notify_queue_sample()
         if packet is None:
             self._busy = False
             return
@@ -152,7 +155,8 @@ class Link:
             in_flight.append((self._tx_finish + self.propagation_delay, packet))
             # Put the next queued packet in service (inlined _begin_service).
             packet = self.queue.dequeue(now)
-            self._notify_queue_sample()
+            if self._sample_hooks:
+                self._notify_queue_sample()
             if packet is None:
                 self._tx_packet = None
                 self._tx_finish = inf
@@ -175,7 +179,8 @@ class Link:
 
     def _start_transmission(self) -> None:
         packet = self.queue.dequeue(self.sim.now)
-        self._notify_queue_sample()
+        if self._sample_hooks:
+            self._notify_queue_sample()
         if packet is None:
             self._busy = False
             return

@@ -4,11 +4,20 @@ Monitors observe the network without influencing it.  They accumulate the
 raw material the analysis layer needs: per-flow byte arrival events (for the
 send-rate time series of paper Eq. 2), link drop/forward counts (loss rate,
 utilization), and queue-occupancy samples (Figure 14).
+
+Accumulators are **columnar** by default: per-flow parallel arrays (arrival
+times + cumulative bytes) instead of dict-of-tuple-lists, so the per-packet
+callback is two list appends and window queries (`throughput_bps`,
+`queue_series`) are ``bisect`` slices on sorted time arrays instead of full
+scans.  The PR-1 accumulators are kept behind ``columnar=False`` for the
+perf-trajectory baseline; both modes return identical values (byte totals
+are exact integer sums either way).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.net.link import Link
 from repro.net.packet import Packet
@@ -25,24 +34,51 @@ class LinkMonitor:
         link: Link,
         tracer: Optional[Tracer] = None,
         sample_queue: bool = True,
+        columnar: bool = True,
     ) -> None:
         self.sim = sim
         self.link = link
         self.tracer = tracer
-        self.queue_samples: List[Tuple[float, int]] = []
-        self.drops: List[Tuple[float, str]] = []
+        self.columnar = columnar
+        # Columnar storage: parallel (time, value) arrays.
+        self._queue_times: List[float] = []
+        self._queue_depths: List[int] = []
+        self._drop_times: List[float] = []
+        self._drop_flows: List[str] = []
+        # Legacy storage: lists of tuples.
+        self._queue_samples_legacy: List[Tuple[float, int]] = []
+        self._drops_legacy: List[Tuple[float, str]] = []
         self._wrap_queue()
         if sample_queue:
             link.add_queue_sample_hook(self._on_queue_sample)
+
+    @property
+    def queue_samples(self) -> List[Tuple[float, int]]:
+        """Queue-depth samples as ``(time, depth)`` pairs, in time order."""
+        if not self.columnar:
+            return self._queue_samples_legacy
+        return list(zip(self._queue_times, self._queue_depths))
+
+    @property
+    def drops(self) -> List[Tuple[float, str]]:
+        """Drops as ``(time, flow_id)`` pairs, in time order."""
+        if not self.columnar:
+            return self._drops_legacy
+        return list(zip(self._drop_times, self._drop_flows))
 
     def _wrap_queue(self) -> None:
         previous_hook = self.link.queue.drop_hook
 
         def on_drop(packet: Packet) -> None:
-            self.drops.append((self.sim.now, packet.flow_id))
+            now = self.sim.now
+            if self.columnar:
+                self._drop_times.append(now)
+                self._drop_flows.append(packet.flow_id)
+            else:
+                self._drops_legacy.append((now, packet.flow_id))
             if self.tracer is not None:
                 self.tracer.record(
-                    self.sim.now, "drop", self.link.name, packet.size,
+                    now, "drop", self.link.name, packet.size,
                     meta={"flow": packet.flow_id, "seq": packet.seq},
                 )
             if previous_hook is not None:
@@ -51,13 +87,19 @@ class LinkMonitor:
         self.link.queue.drop_hook = on_drop
 
     def _on_queue_sample(self, now: float, depth: int) -> None:
-        self.queue_samples.append((now, depth))
+        if self.columnar:
+            self._queue_times.append(now)
+            self._queue_depths.append(depth)
+        else:
+            self._queue_samples_legacy.append((now, depth))
         if self.tracer is not None:
             self.tracer.record(now, "queue", self.link.name, depth)
 
     @property
     def drop_count(self) -> int:
-        return len(self.drops)
+        if not self.columnar:
+            return len(self._drops_legacy)
+        return len(self._drop_times)
 
     def loss_rate(self) -> float:
         """Fraction of offered packets the queue dropped."""
@@ -75,51 +117,155 @@ class LinkMonitor:
     def queue_series(
         self, t_min: float = 0.0, t_max: Optional[float] = None
     ) -> List[Tuple[float, int]]:
-        """Queue-depth samples within a window."""
-        return [
-            (t, d)
-            for t, d in self.queue_samples
-            if t >= t_min and (t_max is None or t <= t_max)
-        ]
+        """Queue-depth samples within a window (bisect-sliced, no scan)."""
+        if not self.columnar:
+            return [
+                (t, d)
+                for t, d in self._queue_samples_legacy
+                if t >= t_min and (t_max is None or t <= t_max)
+            ]
+        times = self._queue_times
+        lo = bisect_left(times, t_min)
+        hi = len(times) if t_max is None else bisect_right(times, t_max)
+        return list(zip(times[lo:hi], self._queue_depths[lo:hi]))
+
+
+class _ArrivalsView(Mapping):
+    """Read-only per-flow view over a columnar :class:`FlowMonitor`."""
+
+    __slots__ = ("_monitor",)
+
+    def __init__(self, monitor: "FlowMonitor") -> None:
+        self._monitor = monitor
+
+    def __getitem__(self, flow_id: str) -> List[Tuple[float, int]]:
+        if flow_id not in self._monitor._series:
+            raise KeyError(flow_id)
+        return self._monitor.arrival_series(flow_id)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._monitor._series)
+
+    def __len__(self) -> int:
+        return len(self._monitor._series)
+
+
+class _FlowSeries:
+    """Columnar per-flow arrival series: times plus cumulative bytes."""
+
+    __slots__ = ("times", "cum", "total")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.cum: List[int] = []  # cum[i] = bytes delivered through arrival i
+        self.total = 0
 
 
 class FlowMonitor:
     """Accumulates per-flow arrival events at a measurement point.
 
     Endpoints call :meth:`on_packet` for every data packet they deliver to
-    the application.  ``arrivals[flow_id]`` is a time-ordered list of
-    ``(time, bytes)`` pairs, the exact input needed to compute the paper's
-    R_tau send-rate time series.
+    the application.  :attr:`arrivals` exposes the time-ordered
+    ``(time, bytes)`` pairs per flow -- the exact input needed to compute the
+    paper's R_tau send-rate time series -- while :meth:`throughput_bps`
+    answers window queries from the cumulative-byte arrays in O(log n).
     """
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self, tracer: Optional[Tracer] = None, columnar: bool = True
+    ) -> None:
         self.tracer = tracer
-        self.arrivals: Dict[str, List[Tuple[float, int]]] = {}
-        self.bytes_by_flow: Dict[str, int] = {}
-        self.packets_by_flow: Dict[str, int] = {}
+        self.columnar = columnar
+        self._series: Dict[str, _FlowSeries] = {}
+        # Legacy accumulators (PR-1 behaviour).
+        self._arrivals_legacy: Dict[str, List[Tuple[float, int]]] = {}
+        self._bytes_legacy: Dict[str, int] = {}
+        self._packets_legacy: Dict[str, int] = {}
 
     def on_packet(self, now: float, packet: Packet) -> None:
         """Record the delivery of ``packet`` at time ``now``."""
-        self.arrivals.setdefault(packet.flow_id, []).append((now, packet.size))
-        self.bytes_by_flow[packet.flow_id] = (
-            self.bytes_by_flow.get(packet.flow_id, 0) + packet.size
-        )
-        self.packets_by_flow[packet.flow_id] = (
-            self.packets_by_flow.get(packet.flow_id, 0) + 1
-        )
+        flow_id = packet.flow_id
+        size = packet.size
+        if self.columnar:
+            series = self._series.get(flow_id)
+            if series is None:
+                series = _FlowSeries()
+                self._series[flow_id] = series
+            series.times.append(now)
+            series.total += size
+            series.cum.append(series.total)
+        else:
+            self._arrivals_legacy.setdefault(flow_id, []).append((now, size))
+            self._bytes_legacy[flow_id] = (
+                self._bytes_legacy.get(flow_id, 0) + size
+            )
+            self._packets_legacy[flow_id] = (
+                self._packets_legacy.get(flow_id, 0) + 1
+            )
         if self.tracer is not None:
-            self.tracer.record(now, "recv", packet.flow_id, packet.size)
+            self.tracer.record(now, "recv", flow_id, size)
+
+    # ------------------------------------------------------- derived views
+
+    @property
+    def arrivals(self) -> Mapping[str, List[Tuple[float, int]]]:
+        """Per-flow time-ordered ``(time, bytes)`` pairs.
+
+        In columnar mode this is a lazy read-only mapping: each lookup
+        reconstructs only the requested flow's pair list from the arrays.
+        """
+        if not self.columnar:
+            return self._arrivals_legacy
+        return _ArrivalsView(self)
+
+    def arrival_series(self, flow_id: str) -> List[Tuple[float, int]]:
+        """One flow's ``(time, bytes)`` pairs ([] for unknown flows)."""
+        if not self.columnar:
+            return self._arrivals_legacy.get(flow_id, [])
+        series = self._series.get(flow_id)
+        if series is None:
+            return []
+        cum = series.cum
+        sizes = [cum[0]] if cum else []
+        sizes.extend(cum[i] - cum[i - 1] for i in range(1, len(cum)))
+        return list(zip(series.times, sizes))
+
+    @property
+    def bytes_by_flow(self) -> Dict[str, int]:
+        if not self.columnar:
+            return self._bytes_legacy
+        return {fid: s.total for fid, s in self._series.items()}
+
+    @property
+    def packets_by_flow(self) -> Dict[str, int]:
+        if not self.columnar:
+            return self._packets_legacy
+        return {fid: len(s.times) for fid, s in self._series.items()}
 
     def throughput_bps(self, flow_id: str, t_min: float, t_max: float) -> float:
         """Average delivered rate for ``flow_id`` over [t_min, t_max]."""
         if t_max <= t_min:
             raise ValueError("need t_max > t_min")
-        total = sum(
-            size
-            for time, size in self.arrivals.get(flow_id, [])
-            if t_min <= time <= t_max
-        )
+        if not self.columnar:
+            total = sum(
+                size
+                for time, size in self._arrivals_legacy.get(flow_id, [])
+                if t_min <= time <= t_max
+            )
+            return total * 8 / (t_max - t_min)
+        series = self._series.get(flow_id)
+        if series is None:
+            return 0.0
+        times = series.times
+        lo = bisect_left(times, t_min)
+        hi = bisect_right(times, t_max)
+        if hi <= lo:
+            return 0.0
+        cum = series.cum
+        total = cum[hi - 1] - (cum[lo - 1] if lo else 0)
         return total * 8 / (t_max - t_min)
 
     def flows(self) -> List[str]:
-        return sorted(self.arrivals)
+        if not self.columnar:
+            return sorted(self._arrivals_legacy)
+        return sorted(self._series)

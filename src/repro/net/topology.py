@@ -73,6 +73,40 @@ class DumbbellConfig:
         raise ValueError(f"unknown queue type {self.queue_type!r}")
 
 
+class _BatchedJitter:
+    """Block-buffered uniform draws from a shared jitter RNG.
+
+    numpy fills array draws from the same underlying bit stream as repeated
+    scalar calls, so handing out ``rng.uniform(0, high, block)`` one element
+    at a time yields the *exact same values in the same order* as the legacy
+    per-packet ``rng.uniform(0, high)`` -- at a fraction of the per-draw
+    cost.  One instance must be shared by every port drawing from the same
+    RNG (draw order across ports is the event order, which is deterministic).
+    """
+
+    __slots__ = ("_rng", "high", "_buf", "_i", "_block")
+
+    def __init__(
+        self, rng: np.random.Generator, high: float, block: int = 256
+    ) -> None:
+        self._rng = rng
+        #: upper draw bound; ports with a different ``jitter_max`` must not
+        #: use this stream (enforced in :class:`FlowPort`).
+        self.high = high
+        self._block = block
+        self._buf = rng.uniform(0.0, high, 0)
+        self._i = 0
+
+    def next(self) -> float:
+        i = self._i
+        buf = self._buf
+        if i >= len(buf):
+            self._buf = buf = self._rng.uniform(0.0, self.high, self._block)
+            i = 0
+        self._i = i + 1
+        return buf.item(i)
+
+
 class FlowPort:
     """One direction of a flow's attachment to the dumbbell.
 
@@ -89,6 +123,8 @@ class FlowPort:
         egress_delay: float,
         jitter_rng: Optional[np.random.Generator] = None,
         jitter_max: float = 0.0,
+        fast_scheduling: bool = True,
+        jitter_stream: Optional[_BatchedJitter] = None,
     ) -> None:
         self._sim = sim
         self._link = shared_link
@@ -96,6 +132,16 @@ class FlowPort:
         self.egress_delay = egress_delay
         self.jitter_rng = jitter_rng
         self.jitter_max = jitter_max
+        # A shared batched stream only substitutes for per-call draws when
+        # its bound matches this port's; otherwise fall back silently to
+        # the scalar path rather than draw with the wrong bound.
+        if jitter_stream is not None and jitter_stream.high != jitter_max:
+            jitter_stream = None
+        self._jitter_stream = jitter_stream
+        #: access-segment handoffs are never cancelled, so by default they
+        #: ride ``schedule_fast`` (no Event handle per packet); ``False``
+        #: pins the legacy Event-allocating path for perf baselines.
+        self.fast_scheduling = fast_scheduling
         self._last_ingress_arrival = 0.0
         self._receiver: Optional[Receiver] = None
 
@@ -111,7 +157,10 @@ class FlowPort:
             # arrivals synchronize with bottleneck departures while paced
             # arrivals do not, skewing DropTail drop probabilities.  The
             # jitter is clamped so packets of one flow never reorder.
-            delay += float(self.jitter_rng.uniform(0.0, self.jitter_max))
+            if self._jitter_stream is not None:
+                delay += self._jitter_stream.next()
+            else:
+                delay += float(self.jitter_rng.uniform(0.0, self.jitter_max))
         if not jittered and delay <= 0:
             return self._link.send(packet)
         # Always go through the scheduler when delayed/jittered: clamping to
@@ -121,14 +170,24 @@ class FlowPort:
         self._last_ingress_arrival = arrival
         # Schedule at the *absolute* arrival time: recomputing now + (arrival
         # - now) loses bits and can invert the order of two equal arrivals.
-        self._sim.schedule(arrival, self._link.send, packet)
+        if self.fast_scheduling:
+            self._sim.schedule_fast(arrival, self._link.send, args=(packet,))
+        else:
+            self._sim.schedule(arrival, self._link.send, packet)
         return True  # access links never drop; loss is at the bottleneck
 
     def deliver(self, packet: Packet) -> None:
         if self._receiver is None:
             return  # flow detached; drop silently
         if self.egress_delay > 0:
-            self._sim.schedule_in(self.egress_delay, self._receiver, packet)
+            if self.fast_scheduling:
+                self._sim.schedule_fast(
+                    self._sim.now + self.egress_delay,
+                    self._receiver,
+                    args=(packet,),
+                )
+            else:
+                self._sim.schedule_in(self.egress_delay, self._receiver, packet)
         else:
             self._receiver(packet)
 
@@ -142,11 +201,20 @@ class Dumbbell:
         config: Optional[DumbbellConfig] = None,
         queue_rng: Optional[np.random.Generator] = None,
         jitter_rng: Optional[np.random.Generator] = None,
+        fast_scheduling: bool = True,
     ) -> None:
         self.sim = sim
         self.config = config if config is not None else DumbbellConfig()
+        self.fast_scheduling = fast_scheduling
         self._jitter_rng = (
             jitter_rng if jitter_rng is not None else np.random.default_rng(11)
+        )
+        # All ports draw jitter from one shared stream so batched (fast) and
+        # per-call (legacy) draws hand out identical values in event order.
+        self._jitter_stream = (
+            _BatchedJitter(self._jitter_rng, self.config.access_jitter)
+            if fast_scheduling and self.config.access_jitter > 0
+            else None
         )
         cfg = self.config
         self.forward_link = Link(
@@ -199,10 +267,14 @@ class Dumbbell:
         fwd = FlowPort(
             self.sim, self.forward_link, segment, segment,
             jitter_rng=self._jitter_rng, jitter_max=jitter,
+            fast_scheduling=self.fast_scheduling,
+            jitter_stream=self._jitter_stream,
         )
         rev = FlowPort(
             self.sim, self.reverse_link, segment, segment,
             jitter_rng=self._jitter_rng, jitter_max=jitter,
+            fast_scheduling=self.fast_scheduling,
+            jitter_stream=self._jitter_stream,
         )
         self._forward_ports[flow_id] = fwd
         self._reverse_ports[flow_id] = rev

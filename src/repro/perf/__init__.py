@@ -1,0 +1,22 @@
+"""Performance-trajectory harness (the ``tfrc-bench`` CLI).
+
+Runs a fixed scenario suite on both the endpoint fast path and the PR-1
+legacy path, records events/sec, wall time, and peak RSS per cell, and
+checks regressions against a committed baseline (``BENCH_PR2.json``).
+"""
+
+from repro.perf.bench import (
+    BENCH_SCENARIOS,
+    check_against_baseline,
+    main,
+    run_cell,
+    run_suite,
+)
+
+__all__ = [
+    "BENCH_SCENARIOS",
+    "run_cell",
+    "run_suite",
+    "check_against_baseline",
+    "main",
+]

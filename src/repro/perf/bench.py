@@ -1,0 +1,428 @@
+"""``tfrc-bench``: the repo's persistent performance trajectory.
+
+The paper's key results are statistical -- long runs over many seeds and
+grid cells -- so *endpoint events per second* directly bounds how many
+scenarios the sweep runner can cover.  This harness pins that number down
+and keeps it honest across PRs:
+
+* a fixed scenario suite (endpoint-heavy dumbbell steady state, a Figure-6
+  style many-flow grid cell, ON/OFF churn, RED+ECN), each run on the
+  endpoint **fast path** and on the PR-1 **legacy path** (``Timer`` +
+  record-object tracing + dict-of-list monitors + per-packet access
+  scheduling), which the flags preserve bit-for-bit;
+* per cell: engine-reported events/sec, wall seconds, and peak RSS;
+* a ``speedup`` per scenario defined as ``legacy_wall / fast_wall``.  The
+  two paths produce byte-identical traces (asserted in
+  ``tests/test_endpoint_fastpath.py``), i.e. the simulated workload is the
+  same, so the wall-time ratio *is* the normalized events/sec ratio --
+  deliberately not inflated by the fast path's higher raw event count
+  (superseded timer entries pop as counted no-ops).
+
+``tfrc-bench --suite all --output BENCH_PR2.json`` writes the committed
+trajectory file; CI re-runs the smoke suite and fails when a scenario's
+speedup regresses by more than ``--tolerance`` (default 25%) against the
+committed baseline.  Speedups -- not absolute events/sec -- are compared,
+because absolute rates are machine-dependent while the fast/legacy ratio
+on identical workloads is not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+JsonDict = Dict[str, Any]
+
+#: scale -> per-scenario durations/sizes; "smoke" must stay CI-friendly.
+SCALES = ("smoke", "full")
+
+
+# --------------------------------------------------------------- scenarios
+
+
+def _dumbbell_steady(scale: str, fast: bool):
+    """Endpoint-heavy steady state: 8+8 flows, full tracing + monitoring.
+
+    This is the acceptance scenario: every data packet pays the send-timer
+    re-arm, trace records on send/recv/queue/drop, and both-link monitor
+    callbacks, so endpoint bookkeeping dominates the profile.
+    """
+    from repro.net.monitor import LinkMonitor
+    from repro.scenarios.builders import build_mixed_dumbbell
+    from repro.sim.trace import Tracer
+
+    duration = 8.0 if scale == "smoke" else 40.0
+    tracer = Tracer(columnar=fast)
+    result = build_mixed_dumbbell(
+        n_tfrc=8, n_tcp=8, bandwidth_bps=15e6, queue_type="red", seed=0,
+        endpoint_fastpath=fast, tracer=tracer, sample_queue=True,
+    )
+    LinkMonitor(
+        result.sim, result.dumbbell.reverse_link, tracer=tracer,
+        sample_queue=True, columnar=fast,
+    )
+
+    def finalize() -> JsonDict:
+        return {
+            "packets_forwarded": result.dumbbell.forward_link.packets_forwarded
+            + result.dumbbell.reverse_link.packets_forwarded,
+            "trace_records": len(tracer),
+        }
+
+    return result.sim, duration, finalize
+
+
+def _fig06_grid_cell(scale: str, fast: bool):
+    """A Figure-6 style many-flow fairness grid cell (16+16 @ 32 Mb/s)."""
+    from repro.scenarios.builders import build_mixed_dumbbell
+
+    duration = 6.0 if scale == "smoke" else 25.0
+    result = build_mixed_dumbbell(
+        n_tfrc=16, n_tcp=16, bandwidth_bps=32e6, queue_type="red", seed=0,
+        endpoint_fastpath=fast,
+    )
+
+    def finalize() -> JsonDict:
+        return {
+            "packets_forwarded": result.dumbbell.forward_link.packets_forwarded,
+        }
+
+    return result.sim, duration, finalize
+
+
+def _onoff_churn(scale: str, fast: bool):
+    """Figure-11 style churn: monitored TCP+TFRC among ON/OFF sources.
+
+    Mirrors ``fig11_onoff.run_one`` but keeps the build outside the timed
+    region so the measurement covers the event loop only.
+    """
+    from repro.net import Dumbbell, DumbbellConfig
+    from repro.net.monitor import FlowMonitor, LinkMonitor
+    from repro.core import TfrcFlow
+    from repro.sim import Simulator
+    from repro.sim.rng import RngRegistry
+    from repro.tcp.flow import TcpFlow
+    from repro.traffic.onoff import OnOffSource
+
+    n_sources = 30 if scale == "smoke" else 80
+    duration = 8.0 if scale == "smoke" else 30.0
+    registry = RngRegistry(0)
+    sim = Simulator()
+    dumbbell = Dumbbell(
+        sim, DumbbellConfig(bandwidth_bps=15e6, queue_type="red"),
+        queue_rng=registry.stream("red"), fast_scheduling=fast,
+    )
+    flow_monitor = FlowMonitor(columnar=fast)
+    LinkMonitor(sim, dumbbell.forward_link, sample_queue=False, columnar=fast)
+    topo_rng = registry.stream("topology")
+    fwd, rev = dumbbell.attach_flow("tcp-mon", topo_rng.uniform(0.08, 0.12))
+    TcpFlow(
+        sim, "tcp-mon", fwd, rev, variant="sack",
+        on_data=flow_monitor.on_packet, fast_timers=fast,
+    ).start(at=0.1)
+    fwd, rev = dumbbell.attach_flow("tfrc-mon", topo_rng.uniform(0.08, 0.12))
+    TfrcFlow(
+        sim, "tfrc-mon", fwd, rev, on_data=flow_monitor.on_packet,
+        fast_timers=fast,
+    ).start(at=0.2)
+    onoff_rng = registry.stream("onoff")
+    for i in range(n_sources):
+        flow_id = f"onoff-{i}"
+        port, _ = dumbbell.attach_flow(flow_id, topo_rng.uniform(0.08, 0.12))
+        OnOffSource(sim, flow_id, port, rng=onoff_rng).start(
+            at=float(topo_rng.uniform(0.0, 5.0))
+        )
+
+    def finalize() -> JsonDict:
+        return {
+            "packets_forwarded": dumbbell.forward_link.packets_forwarded,
+        }
+
+    return sim, duration, finalize
+
+
+def _red_ecn(scale: str, fast: bool):
+    """RED bottleneck with ECN marking and ECN-capable TFRC flows."""
+    from repro.scenarios.builders import build_mixed_dumbbell
+    from repro.sim.trace import Tracer
+
+    duration = 6.0 if scale == "smoke" else 25.0
+    tracer = Tracer(columnar=fast)
+    result = build_mixed_dumbbell(
+        n_tfrc=8, n_tcp=8, bandwidth_bps=15e6, queue_type="red", seed=0,
+        endpoint_fastpath=fast, tracer=tracer, sample_queue=True, ecn=True,
+    )
+
+    def finalize() -> JsonDict:
+        return {
+            "packets_forwarded": result.dumbbell.forward_link.packets_forwarded,
+            "ecn_marks": result.dumbbell.forward_link.queue.ecn_marks,
+            "trace_records": len(tracer),
+        }
+
+    return result.sim, duration, finalize
+
+
+#: name -> builder(scale, fast) -> (sim, duration, finalize)
+BENCH_SCENARIOS: Dict[str, Callable] = {
+    "dumbbell_steady": _dumbbell_steady,
+    "fig06_grid_cell": _fig06_grid_cell,
+    "onoff_churn": _onoff_churn,
+    "red_ecn": _red_ecn,
+}
+
+
+# ------------------------------------------------------------- measurement
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Lifetime peak RSS of this process in KiB (None if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    if sys.platform == "darwin":  # pragma: no cover
+        rss //= 1024
+    return int(rss)
+
+
+def run_cell(
+    scenario: str, scale: str, fast: bool, repeats: int = 3
+) -> JsonDict:
+    """Run one (scenario, path) cell ``repeats`` times; keep the best wall.
+
+    Every repeat is an identical fresh build + run (same seeds), so best-of
+    filters scheduler noise without changing the workload.
+    """
+    builder = BENCH_SCENARIOS[scenario]
+    best: Optional[JsonDict] = None
+    for _ in range(repeats):
+        gc.collect()
+        sim, duration, finalize = builder(scale, fast)
+        started = time.perf_counter()
+        sim.run(until=duration)
+        wall = time.perf_counter() - started
+        if best is None or wall < best["wall_seconds"]:
+            best = {
+                "wall_seconds": wall,
+                "events": sim.events_processed,
+                "events_per_sec": sim.events_processed / wall,
+                "sim_seconds": duration,
+                **finalize(),
+            }
+    assert best is not None
+    best["peak_rss_kb"] = _peak_rss_kb()
+    best["repeats"] = repeats
+    return best
+
+
+def _run_cell_isolated(
+    scenario: str, scale: str, fast: bool, repeats: int
+) -> JsonDict:
+    """Run one cell in a fresh child process for a clean per-cell peak RSS."""
+    import multiprocessing as mp
+
+    ctx = mp.get_context()
+    with ctx.Pool(processes=1) as pool:
+        return pool.apply(run_cell, (scenario, scale, fast, repeats))
+
+
+def run_suite(
+    scale: str = "smoke",
+    scenarios: Optional[List[str]] = None,
+    repeats: int = 3,
+    isolate: bool = False,
+    verbose: bool = False,
+) -> JsonDict:
+    """Run the suite at one scale; returns ``{scenario: cell results}``.
+
+    Each scenario block holds ``fast`` and ``legacy`` cells plus their
+    ``speedup`` (legacy wall / fast wall -- the normalized events/sec
+    ratio, since both paths execute a byte-identical workload).
+    """
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}")
+    names = scenarios if scenarios is not None else list(BENCH_SCENARIOS)
+    unknown = set(names) - set(BENCH_SCENARIOS)
+    if unknown:
+        raise ValueError(f"unknown scenarios: {sorted(unknown)}")
+    runner = _run_cell_isolated if isolate else run_cell
+    out: JsonDict = {}
+    for name in names:
+        cells: JsonDict = {}
+        for fast in (True, False):
+            label = "fast" if fast else "legacy"
+            if verbose:
+                print(
+                    f"[tfrc-bench] {scale}/{name}/{label} ...",
+                    file=sys.stderr, flush=True,
+                )
+            cells[label] = runner(name, scale, fast, repeats)
+            # ru_maxrss is a process-lifetime high-water mark: only
+            # isolated cells measure their own footprint; in-process cells
+            # report the max over everything run so far.
+            cells[label]["rss_scope"] = "cell" if isolate else "process"
+        cells["speedup"] = (
+            cells["legacy"]["wall_seconds"] / cells["fast"]["wall_seconds"]
+        )
+        if verbose:
+            print(
+                f"[tfrc-bench] {scale}/{name}: "
+                f"fast {cells['fast']['events_per_sec']:,.0f} ev/s, "
+                f"legacy {cells['legacy']['events_per_sec']:,.0f} ev/s, "
+                f"speedup {cells['speedup']:.2f}x",
+                file=sys.stderr, flush=True,
+            )
+        out[name] = cells
+    return out
+
+
+def build_report(
+    suites: Dict[str, JsonDict], repeats: int, isolate: bool
+) -> JsonDict:
+    return {
+        "schema": "tfrc-bench/v1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "isolate": isolate,
+        "suites": suites,
+    }
+
+
+# ---------------------------------------------------------- regression gate
+
+
+def check_against_baseline(
+    report: JsonDict, baseline: JsonDict, tolerance: float = 0.25
+) -> List[str]:
+    """Compare per-scenario speedups against a committed baseline.
+
+    Returns a list of human-readable failures (empty = pass).  Only the
+    fast/legacy speedup is gated: it is a same-machine, same-workload ratio,
+    so it transfers across runner hardware where absolute events/sec do not.
+    Scenarios or suites missing from the baseline are skipped.
+    """
+    failures: List[str] = []
+    compared = 0
+    for scale, scenarios in report.get("suites", {}).items():
+        base_scenarios = baseline.get("suites", {}).get(scale)
+        if base_scenarios is None:
+            continue
+        for name, cells in scenarios.items():
+            base = base_scenarios.get(name)
+            if base is None or "speedup" not in base:
+                continue
+            compared += 1
+            floor = base["speedup"] * (1.0 - tolerance)
+            if cells["speedup"] < floor:
+                failures.append(
+                    f"{scale}/{name}: speedup {cells['speedup']:.2f}x fell "
+                    f"below {floor:.2f}x (baseline {base['speedup']:.2f}x "
+                    f"- {tolerance:.0%} tolerance)"
+                )
+    if compared == 0:
+        # A gate that compared nothing must not report a pass.
+        failures.append(
+            "no scenario overlaps between the report and the baseline; "
+            "the regression gate compared zero cells"
+        )
+    return failures
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tfrc-bench",
+        description="Run the TFRC perf-trajectory suite (fast vs legacy "
+        "endpoint path) and write/check a benchmark JSON.",
+    )
+    parser.add_argument(
+        "--suite", choices=list(SCALES) + ["all"], default="smoke",
+        help="scenario scale to run (default: smoke)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help=f"restrict to specific scenarios (choices: "
+        f"{', '.join(BENCH_SCENARIOS)}); repeatable",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="repeats per cell, best wall kept (default: 3)",
+    )
+    parser.add_argument(
+        "--isolate", dest="isolate", action="store_true", default=True,
+        help="run each cell in a fresh child process so peak RSS is "
+        "per-cell (default)",
+    )
+    parser.add_argument(
+        "--no-isolate", dest="isolate", action="store_false",
+        help="run cells in-process (peak RSS becomes a process-lifetime "
+        "high-water mark)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the benchmark report JSON here",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare speedups against a committed baseline JSON; exit 1 "
+        "on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="allowed relative speedup regression for --check "
+        "(default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+
+    scales = list(SCALES) if args.suite == "all" else [args.suite]
+    suites: Dict[str, JsonDict] = {}
+    for scale in scales:
+        suites[scale] = run_suite(
+            scale=scale,
+            scenarios=args.scenario,
+            repeats=args.repeats,
+            isolate=args.isolate,
+            verbose=True,
+        )
+    report = build_report(suites, args.repeats, args.isolate)
+
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[tfrc-bench] wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(report, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"[tfrc-bench] REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"[tfrc-bench] no speedup regression vs {args.check} "
+            f"(tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,21 @@ class RealtimeScheduler:
             raise SimulationError(f"negative delay {delay!r}")
         return self.schedule(self.now + delay, callback, *args, priority=priority)
 
+    def schedule_fast(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        priority: int = 0,
+        args: tuple = (),
+    ) -> None:
+        """Handle-free scheduling, mirroring ``Simulator.schedule_fast``.
+
+        Endpoints built on :class:`~repro.sim.process.FastTimer` (the
+        default) arm their timers through this entry point.  Real time has
+        no hot heap path to protect, so it simply drops the handle.
+        """
+        self.schedule(when, callback, *args, priority=priority)
+
     def pending_count(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
 

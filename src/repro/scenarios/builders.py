@@ -29,6 +29,7 @@ from repro.net.path import LossyPath, LossModel, bernoulli_loss, periodic_loss
 from repro.scenarios.spec import JsonDict, ScenarioSpec, register_scenario
 from repro.sim import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
 from repro.tcp.flow import TcpFlow
 
 #: The paper's per-flow base RTT range (section 4.1.2): U(80, 120) ms.
@@ -80,6 +81,9 @@ def build_mixed_dumbbell(
     interpacket_adjustment: bool = True,
     queue_scaling_bandwidth: Optional[float] = None,
     sample_queue: bool = False,
+    endpoint_fastpath: bool = True,
+    tracer: Optional["Tracer"] = None,
+    ecn: bool = False,
 ) -> MixedDumbbellResult:
     """Construct (without running) the standard mixed-traffic dumbbell.
 
@@ -87,6 +91,12 @@ def build_mixed_dumbbell(
     queue size with the bandwidth"): the buffer is the paper's 100 packets
     scaled by ``bandwidth / 15 Mb/s`` (at least 5 packets), unless
     ``buffer_packets`` is given.  RED thresholds scale with the buffer.
+
+    ``endpoint_fastpath`` selects the PR-2 endpoint hot path (generation
+    -counter timers, fast access-segment scheduling, columnar monitors and
+    tracer storage); ``False`` pins the PR-1 legacy path.  Both produce
+    byte-identical traces (see ``tests/test_endpoint_fastpath.py``).
+    ``ecn`` enables marking at a RED bottleneck with ECN-capable TFRC flows.
     """
     if n_tfrc < 0 or n_tcp < 0 or n_tfrc + n_tcp == 0:
         raise ValueError("need at least one flow")
@@ -103,10 +113,18 @@ def build_mixed_dumbbell(
         red_max_thresh=max(4, buffer_packets // 2),
     )
     sim = Simulator()
-    dumbbell = Dumbbell(sim, config, queue_rng=rng_registry.stream("red"))
-    flow_monitor = FlowMonitor()
+    dumbbell = Dumbbell(
+        sim, config, queue_rng=rng_registry.stream("red"),
+        fast_scheduling=endpoint_fastpath,
+    )
+    if ecn:
+        if queue_type != "red":
+            raise ValueError("ecn requires a RED bottleneck queue")
+        dumbbell.forward_link.queue.ecn = True
+    flow_monitor = FlowMonitor(tracer=tracer, columnar=endpoint_fastpath)
     link_monitor = LinkMonitor(
-        sim, dumbbell.forward_link, sample_queue=sample_queue
+        sim, dumbbell.forward_link, tracer=tracer,
+        sample_queue=sample_queue, columnar=endpoint_fastpath,
     )
     result = MixedDumbbellResult(
         sim=sim,
@@ -125,6 +143,9 @@ def build_mixed_dumbbell(
             rev,
             on_data=flow_monitor.on_packet,
             interpacket_adjustment=interpacket_adjustment,
+            fast_timers=endpoint_fastpath,
+            tracer=tracer,
+            ecn=ecn,
         )
         staggered_starts.append((rng.uniform(*START_RANGE), flow.start, ()))
         result.tfrc_flows.append(flow)
@@ -138,6 +159,8 @@ def build_mixed_dumbbell(
             rev,
             variant=tcp_variant,
             on_data=flow_monitor.on_packet,
+            fast_timers=endpoint_fastpath,
+            tracer=tracer,
         )
         staggered_starts.append((rng.uniform(*START_RANGE), flow.start, ()))
         result.tcp_flows.append(flow)
@@ -267,6 +290,7 @@ def mixed_dumbbell_scenario(spec: ScenarioSpec) -> JsonDict:
             spec.flows.get("interpacket_adjustment", True)
         ),
         queue_scaling_bandwidth=spec.topology.get("queue_scaling_bandwidth"),
+        endpoint_fastpath=bool(spec.extra.get("endpoint_fastpath", True)),
     )
     t0, t1 = steady_state_window(
         spec.duration, float(spec.extra.get("measure_fraction", 0.5))

@@ -5,10 +5,11 @@ paper.  It provides:
 
 * :class:`~repro.sim.engine.Simulator` -- a heap-based event loop with a
   monotonically non-decreasing clock.
-* :class:`~repro.sim.process.Timer` and
-  :class:`~repro.sim.process.PeriodicProcess` -- restartable timers built on
-  the event loop, used for retransmission timers, feedback timers and traffic
-  generators.
+* :class:`~repro.sim.process.Timer`, :class:`~repro.sim.process.FastTimer`
+  and :class:`~repro.sim.process.PeriodicProcess` -- restartable timers built
+  on the event loop, used for retransmission timers, feedback timers and
+  traffic generators.  ``FastTimer`` is the zero-``Event``-allocation hot
+  path; ``Timer`` is the legacy handle-based implementation.
 * :mod:`~repro.sim.rng` -- named, independently seeded random streams so that
   experiments are reproducible and sub-systems do not perturb each other's
   random sequences.
@@ -17,7 +18,7 @@ paper.  It provides:
 """
 
 from repro.sim.engine import Event, Simulator
-from repro.sim.process import PeriodicProcess, Timer
+from repro.sim.process import FastTimer, PeriodicProcess, Timer, make_timer
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecord, Tracer
 
@@ -25,6 +26,8 @@ __all__ = [
     "Event",
     "Simulator",
     "Timer",
+    "FastTimer",
+    "make_timer",
     "PeriodicProcess",
     "RngRegistry",
     "Tracer",

@@ -25,6 +25,11 @@ from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 _EMPTY_ARGS: tuple = ()
 
+#: Largest finite float: ``now <= t <= _FMAX`` is the in-range fast check
+#: (NaN and +inf fail it, negative/backward times fail it), letting the hot
+#: scheduling paths skip a ``math.isfinite`` call per event.
+_FMAX = 1.7976931348623157e308
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduler operations (e.g. scheduling in the past)."""
@@ -122,7 +127,8 @@ class Simulator:
         first).  Raises :class:`SimulationError` if ``time`` precedes the
         current clock or is not finite.  Returns a cancellable handle.
         """
-        self._check_time(time)
+        if not (self._now <= time <= _FMAX):
+            self._check_time(time)
         event = Event(time, priority, self._seq, callback, args)
         heapq.heappush(
             self._heap, (time, priority, self._seq, callback, args, event)
@@ -143,17 +149,24 @@ class Simulator:
         return self.schedule(self._now + delay, callback, *args, priority=priority)
 
     def schedule_fast(
-        self, time: float, callback: Callable[[], None], priority: int = 0
+        self,
+        time: float,
+        callback: Callable[..., None],
+        priority: int = 0,
+        args: tuple = _EMPTY_ARGS,
     ) -> None:
         """Hot-path scheduling: no ``Event`` handle, not cancellable.
 
-        ``callback`` takes no arguments (use a bound method or closure).
-        This is the cheapest way to get a wakeup and is what self-clocking
-        loops (link transmit loops, delivery trains) should use.
+        ``callback(*args)`` runs at ``time``; with the default empty ``args``
+        use a bound method or closure.  This is the cheapest way to get a
+        wakeup and is what self-clocking loops (link transmit loops, delivery
+        trains, :class:`~repro.sim.process.FastTimer`, access-segment packet
+        handoffs) ride on.
         """
-        self._check_time(time)
+        if not (self._now <= time <= _FMAX):
+            self._check_time(time)
         heapq.heappush(
-            self._heap, (time, priority, self._seq, callback, _EMPTY_ARGS, None)
+            self._heap, (time, priority, self._seq, callback, args, None)
         )
         self._seq += 1
 

@@ -3,13 +3,28 @@
 These are the building blocks for protocol machinery: TCP retransmission
 timers, the TFRC no-feedback timer, receiver feedback timers, and traffic
 generators all use :class:`Timer` or :class:`PeriodicProcess`.
+
+Two timer implementations share one interface:
+
+* :class:`Timer` -- the legacy path: each ``start`` cancels the previous
+  :class:`~repro.sim.engine.Event` handle and allocates a new one.
+* :class:`FastTimer` -- the endpoint hot path: armings ride
+  :meth:`Simulator.schedule_fast` entries tagged with a generation counter.
+  Re-arming bumps the generation instead of cancelling; a superseded entry
+  stays in the heap and self-discards when popped because its generation no
+  longer matches.  No ``Event`` handle is ever allocated.
+
+Both consume exactly one scheduler sequence number per ``start``, so event
+ordering -- and therefore every trace -- is byte-identical whichever
+implementation a protocol endpoint uses (see ``tests/test_fast_timer.py``
+for the randomized equivalence fuzz).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, SimulationError, Simulator
 
 
 class Timer:
@@ -56,6 +71,95 @@ class Timer:
     def _fire(self) -> None:
         self._event = None
         self._callback()
+
+
+class FastTimer:
+    """A single-shot, restartable timer with no per-arming ``Event`` handle.
+
+    Drop-in replacement for :class:`Timer` on hot paths that re-arm per
+    packet (the TFRC send timer, TCP's RTO push-back on every ACK).  Each
+    arming pushes one bare :meth:`Simulator.schedule_fast` entry carrying the
+    current generation number; ``start``/``cancel`` bump the generation, so
+    entries from superseded armings self-discard on pop instead of being
+    cancelled up front.
+
+    The trade against :class:`Timer` is pure bookkeeping: superseded entries
+    are popped as (counted) no-op events rather than skipped as cancelled
+    ones, and they are indistinguishable from live work to
+    :meth:`Simulator.pending_count`/:meth:`Simulator.peek_time`.
+    Consequently a ``run()`` with no ``until`` drains stale entries too --
+    the clock (and ``run``'s return value) advances to the last stale
+    deadline, where a cancelled legacy ``Timer`` event would be skipped --
+    and ``max_events`` budgets count the no-op pops.  Bound runs with
+    ``until`` (as every scenario here does) are unaffected.  Firing order
+    is identical either way -- both implementations consume one sequence
+    number per ``start``, at the same deadline and priority.
+    """
+
+    __slots__ = ("_sim", "_callback", "_gen", "_deadline", "_on_pop")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._gen = 0
+        self._deadline: Optional[float] = None
+        # One bound method reused for every arming (bound-method creation is
+        # an allocation; hoisting it makes start() allocation-free).
+        self._on_pop = self._pop
+
+    @property
+    def pending(self) -> bool:
+        """True while a fire is scheduled and not yet delivered."""
+        return self._deadline is not None
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute time the timer will fire, or None if not pending."""
+        return self._deadline
+
+    def start(self, interval: float) -> None:
+        """(Re)arm the timer to fire ``interval`` seconds from now."""
+        if interval < 0:
+            raise SimulationError(f"negative delay {interval!r}")
+        # Supersede any prior arming before attempting the push, exactly
+        # like Timer.start's leading cancel(): if scheduling raises (e.g.
+        # a non-finite deadline), both implementations end up disarmed.
+        gen = self._gen + 1
+        self._gen = gen
+        self._deadline = None
+        deadline = self._sim.now + interval
+        self._sim.schedule_fast(deadline, self._on_pop, args=(gen,))
+        self._deadline = deadline
+
+    def restart(self, interval: float) -> None:
+        """Alias of :meth:`start`; reads better at call sites that re-arm."""
+        self.start(interval)
+
+    def cancel(self) -> None:
+        """Disarm the timer if pending (the heap entry self-discards)."""
+        self._gen += 1
+        self._deadline = None
+
+    def _pop(self, gen: int) -> None:
+        if gen != self._gen:
+            return  # stale entry from a superseded arming or a cancel
+        self._deadline = None
+        self._callback()
+
+
+#: Either timer implementation; endpoints accept both interchangeably.
+TimerLike = Union[Timer, FastTimer]
+
+
+def make_timer(
+    sim: Simulator, callback: Callable[[], None], fast: bool = True
+) -> TimerLike:
+    """Construct the fast (default) or legacy timer implementation.
+
+    The ``fast`` flag is what endpoint classes expose as ``fast_timers`` so
+    benchmarks can pin the PR-1 legacy behaviour for comparison.
+    """
+    return FastTimer(sim, callback) if fast else Timer(sim, callback)
 
 
 class PeriodicProcess:

@@ -207,3 +207,38 @@ class TestFeedback:
     def test_feedback_interval_validation(self):
         with pytest.raises(ValueError):
             run_tfrc(duration=0.1, feedback_interval_rtts=0.0)
+
+
+class TestRateHistoryBounding:
+    def _sender(self, **kwargs):
+        from repro.core.sender import TfrcSender
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        sender = TfrcSender(sim, "f", send_packet=lambda p: None, **kwargs)
+        return sim, sender
+
+    def test_unbounded_by_default(self):
+        sim, sender = self._sender()
+        for _ in range(500):
+            sender._record_rate()
+        assert len(sender.rate_history) == 500
+
+    def test_decimation_bounds_growth(self):
+        sim, sender = self._sender(max_rate_history=64)
+        for i in range(10_000):
+            sim.schedule(float(i), sender._record_rate)
+        sim.run()
+        # Never exceeds the cap (+1 transient before each decimation).
+        assert len(sender.rate_history) <= 65
+        times = [t for t, _ in sender.rate_history]
+        assert times == sorted(times)
+        # The first and the latest samples survive decimation.
+        assert times[0] == 0.0
+        assert times[-1] == 9999.0
+
+    def test_invalid_cap_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self._sender(max_rate_history=2)

@@ -118,3 +118,70 @@ class TestFlowMonitor:
         records = tracer.select(category="recv", source="a")
         assert len(records) == 1
         assert records[0].value == 1000
+
+
+class TestMonitorModeEquivalence:
+    """Columnar and legacy accumulators must report identical values."""
+
+    def _fill_flow(self, monitor):
+        monitor.on_packet(1.0, make_packet("a", 0, 500))
+        monitor.on_packet(2.0, make_packet("a", 1, 700))
+        monitor.on_packet(2.5, make_packet("b", 0, 300))
+        monitor.on_packet(4.0, make_packet("a", 2, 900))
+
+    def test_flow_monitor_modes_agree(self):
+        fast = FlowMonitor(columnar=True)
+        legacy = FlowMonitor(columnar=False)
+        self._fill_flow(fast)
+        self._fill_flow(legacy)
+        assert dict(fast.bytes_by_flow) == dict(legacy.bytes_by_flow)
+        assert dict(fast.packets_by_flow) == dict(legacy.packets_by_flow)
+        assert fast.flows() == legacy.flows()
+        for fid in fast.flows():
+            assert fast.arrivals[fid] == legacy.arrivals[fid]
+            assert fast.arrival_series(fid) == legacy.arrival_series(fid)
+        for window in ((0.0, 2.0), (1.0, 2.5), (0.5, 10.0), (5.0, 6.0)):
+            for fid in ("a", "b", "missing"):
+                assert fast.throughput_bps(fid, *window) == legacy.throughput_bps(
+                    fid, *window
+                )
+
+    def test_flow_monitor_window_boundaries_inclusive(self):
+        monitor = FlowMonitor()
+        monitor.on_packet(1.0, make_packet("a", 0, 1000))
+        monitor.on_packet(3.0, make_packet("a", 1, 1000))
+        # Both endpoints inclusive, matching the legacy scan semantics.
+        assert monitor.throughput_bps("a", 1.0, 3.0) == pytest.approx(8000.0)
+        assert monitor.throughput_bps("a", 1.0 + 1e-12, 3.0 - 1e-12) == (
+            pytest.approx(0.0)
+        )
+
+    def test_link_monitor_modes_agree(self):
+        data = {}
+        for columnar in (True, False):
+            sim = Simulator()
+            link = Link(sim, 8e6, 0.01, DropTailQueue(2))
+            link.connect(lambda p: None)
+            monitor = LinkMonitor(sim, link, sample_queue=True, columnar=columnar)
+            for i in range(6):
+                link.send(make_packet("f", i))
+            sim.run()
+            data[columnar] = (
+                monitor.queue_samples,
+                monitor.drops,
+                monitor.drop_count,
+                monitor.queue_series(t_min=0.0005),
+                monitor.queue_series(t_min=0.0, t_max=0.001),
+            )
+        assert data[True] == data[False]
+
+    def test_arrivals_view_is_mapping_like(self):
+        monitor = FlowMonitor()
+        self._fill_flow(monitor)
+        view = monitor.arrivals
+        assert set(view) == {"a", "b"}
+        assert len(view) == 2
+        assert view.get("missing", []) == []
+        assert view["b"] == [(2.5, 300)]
+        with pytest.raises(KeyError):
+            view["missing"]
