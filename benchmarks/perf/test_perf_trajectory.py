@@ -2,9 +2,10 @@
 
 Two layers of assertion:
 
-* the committed ``BENCH_PR2.json`` (the repo's perf trajectory) must
-  record a >= 1.5x fast/legacy speedup on the endpoint-heavy dumbbell at
-  full scale -- the PR-2 acceptance number;
+* every committed ``BENCH_PR<N>.json`` (the repo's perf trajectory, one
+  file per PR, appended never overwritten) must be well-formed, and the
+  newest must record a >= 1.5x fast/legacy speedup on the endpoint-heavy
+  dumbbell at full scale -- the PR-2 acceptance number;
 * a live measurement (skipped on shared CI runners, like the engine
   fast-path bench) must reproduce a healthy speedup on this machine.
 """
@@ -16,12 +17,17 @@ import os
 
 import pytest
 
-from repro.perf.bench import check_against_baseline, run_cell
+from repro.perf.bench import (
+    check_against_baseline,
+    find_baselines,
+    latest_baseline,
+    run_cell,
+)
 
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 )
-BENCH_FILE = os.path.join(REPO_ROOT, "BENCH_PR2.json")
+BENCH_FILE = latest_baseline(REPO_ROOT)
 
 skip_timing_on_ci = pytest.mark.skipif(
     os.environ.get("CI", "").lower() in ("1", "true"),
@@ -30,25 +36,30 @@ skip_timing_on_ci = pytest.mark.skipif(
 
 
 class TestCommittedTrajectory:
-    def test_bench_file_committed_and_well_formed(self):
-        assert os.path.exists(BENCH_FILE), (
-            "BENCH_PR2.json missing: regenerate with "
-            "`tfrc-bench --suite all --isolate --output BENCH_PR2.json`"
+    def test_bench_files_committed_and_well_formed(self):
+        names = find_baselines(REPO_ROOT)
+        assert names, (
+            "no BENCH_PR<N>.json committed: regenerate with "
+            "`tfrc-bench --suite all --isolate --output next`"
         )
-        with open(BENCH_FILE) as fh:
-            report = json.load(fh)
-        assert report["schema"] == "tfrc-bench/v1"
-        for scale in ("smoke", "full"):
-            scenarios = report["suites"][scale]
-            for name in (
-                "dumbbell_steady", "fig06_grid_cell", "onoff_churn", "red_ecn"
-            ):
-                cell = scenarios[name]
-                for mode in ("fast", "legacy"):
-                    assert cell[mode]["events"] > 0
-                    assert cell[mode]["wall_seconds"] > 0
-                    assert cell[mode]["events_per_sec"] > 0
-                assert cell["speedup"] > 0
+        # The trajectory is append-only: PR 2 onwards must all be present.
+        assert names[0] == "BENCH_PR2.json"
+        for name in names:
+            with open(os.path.join(REPO_ROOT, name)) as fh:
+                report = json.load(fh)
+            assert report["schema"] == "tfrc-bench/v1", name
+            for scale in ("smoke", "full"):
+                scenarios = report["suites"][scale]
+                for scenario in (
+                    "dumbbell_steady", "fig06_grid_cell", "onoff_churn",
+                    "red_ecn",
+                ):
+                    cell = scenarios[scenario]
+                    for mode in ("fast", "legacy"):
+                        assert cell[mode]["events"] > 0, (name, scenario)
+                        assert cell[mode]["wall_seconds"] > 0, (name, scenario)
+                        assert cell[mode]["events_per_sec"] > 0, (name, scenario)
+                    assert cell["speedup"] > 0, (name, scenario)
 
     def test_acceptance_speedup_on_endpoint_heavy_dumbbell(self):
         """PR-2 acceptance: >= 1.5x events/sec vs the PR-1 legacy path on

@@ -11,15 +11,25 @@ Expected shape (paper section 3.3):
 * a completely stable estimate while the loss rate is constant,
 * a rapid rate reduction when the loss rate jumps to 10%,
 * a smooth rate increase (no step changes) when it falls to 0.5%.
+
+The run is one ``fig02_loss_interval`` scenario cell executed through
+:class:`~repro.scenarios.sweep.SweepRunner`, so the runner CLI contract
+(``--parallel N``, ``--cache``) and spec-hash result caching come for free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional
 
-from repro.experiments.common import run_single_tfrc_on_lossy_path
-from repro.net.path import periodic_loss, scheduled_loss
+from repro.scenarios import ScenarioSpec, register_scenario, run_single_cell
+from repro.scenarios.builders import (
+    loss_model_from_spec,
+    periodic_phase,
+    run_single_tfrc_on_lossy_path,
+)
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 
 
 @dataclass
@@ -37,6 +47,45 @@ class Fig02Result:
         return [v for t, v in zip(self.times, values) if t0 <= t <= t1]
 
 
+@register_scenario("fig02_loss_interval")
+def loss_interval_scenario(spec: ScenarioSpec) -> JsonDict:
+    """The Figure 2 probe run as one sweep cell.
+
+    Spec layout::
+
+        topology: {rtt?}
+        loss:     {model: "scheduled", phases: [...]} (the 1%/10%/0.5% steps)
+        extra:    {probe_interval?}
+    """
+    series: JsonDict = {
+        "times": [],
+        "current_interval": [],
+        "estimated_interval": [],
+        "loss_event_rate": [],
+        "tx_rate_bytes": [],
+    }
+
+    def probe(sim, flow) -> None:
+        series["times"].append(sim.now)
+        series["current_interval"].append(
+            flow.receiver.detector.open_interval_packets()
+        )
+        series["estimated_interval"].append(
+            flow.receiver.intervals.average_interval()
+        )
+        series["loss_event_rate"].append(flow.receiver.loss_event_rate())
+        series["tx_rate_bytes"].append(flow.sender.rate)
+
+    run_single_tfrc_on_lossy_path(
+        loss_model=loss_model_from_spec(dict(spec.loss)),
+        duration=spec.duration,
+        rtt=float(spec.topology.get("rtt", 0.1)),
+        probe=probe,
+        probe_interval=float(spec.extra.get("probe_interval", 0.1)),
+    )
+    return series
+
+
 def run(
     duration: float = 16.0,
     rtt: float = 0.1,
@@ -46,32 +95,35 @@ def run(
     t_phase2: float = 6.0,
     t_phase3: float = 9.0,
     probe_interval: float = 0.1,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Fig02Result:
     """Run the Figure 2 scenario and sample the estimator state."""
-    model = scheduled_loss(
-        [
-            (0.0, periodic_loss(phase1_period)),
-            (t_phase2, periodic_loss(phase2_period)),
-            (t_phase3, periodic_loss(phase3_period)),
-        ]
+    base = ScenarioSpec(
+        scenario="fig02_loss_interval",
+        duration=float(duration),
+        topology={"rtt": float(rtt)},
+        loss={
+            "model": "scheduled",
+            "phases": [
+                periodic_phase(0.0, phase1_period),
+                periodic_phase(t_phase2, phase2_period),
+                periodic_phase(t_phase3, phase3_period),
+            ],
+        },
+        extra={"probe_interval": float(probe_interval)},
     )
-    result = Fig02Result()
-
-    def probe(sim, flow) -> None:
-        result.times.append(sim.now)
-        result.current_interval.append(flow.receiver.detector.open_interval_packets())
-        result.estimated_interval.append(flow.receiver.intervals.average_interval())
-        result.loss_event_rate.append(flow.receiver.loss_event_rate())
-        result.tx_rate_bytes.append(flow.sender.rate)
-
-    run_single_tfrc_on_lossy_path(
-        loss_model=model,
-        duration=duration,
-        rtt=rtt,
-        probe=probe,
-        probe_interval=probe_interval,
+    data = run_single_cell(
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress
     )
-    return result
+    return Fig02Result(
+        times=list(data["times"]),
+        current_interval=list(data["current_interval"]),
+        estimated_interval=list(data["estimated_interval"]),
+        loss_event_rate=list(data["loss_event_rate"]),
+        tx_rate_bytes=list(data["tx_rate_bytes"]),
+    )
 
 
 def summarize(result: Fig02Result, t_phase2: float = 6.0, t_phase3: float = 9.0) -> dict:

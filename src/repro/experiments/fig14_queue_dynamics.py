@@ -7,18 +7,26 @@ traffic.  Both the all-TCP and the all-TFRC variants reach ~99% utilization;
 the claim under test is that TFRC "does not have a negative impact on queue
 dynamics": comparable queue occupancy and drop rate (the paper reports 4.9%
 drops for TCP vs 3.5% for TFRC).
+
+Each protocol variant is one ``fig14_queue_dynamics`` scenario cell, so the
+TCP-vs-TFRC comparison runs as a two-cell
+:class:`~repro.scenarios.sweep.SweepRunner` grid (``--parallel 2`` runs the
+variants concurrently; ``--cache`` re-uses them).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core import TfrcFlow
 from repro.net import Dumbbell, DumbbellConfig
 from repro.net.monitor import FlowMonitor, LinkMonitor
+from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 from repro.sim import Simulator
 from repro.sim.rng import RngRegistry
 from repro.tcp.flow import TcpFlow
@@ -115,9 +123,86 @@ def run_one(
     )
 
 
-def run(duration: float = 30.0, seed: int = 0, **kwargs) -> Fig14Result:
-    """Both variants of the Figure 14 scenario."""
-    return Fig14Result(
-        tcp=run_one("tcp", duration=duration, seed=seed, **kwargs),
-        tfrc=run_one("tfrc", duration=duration, seed=seed, **kwargs),
+@register_scenario("fig14_queue_dynamics")
+def queue_dynamics_scenario(spec: ScenarioSpec) -> JsonDict:
+    """One Figure 14 protocol variant as a sweep cell.
+
+    Spec layout::
+
+        topology: {bandwidth_bps?, base_rtt?, start_spread?}
+        flows:    {protocol, n_flows?}
+        queue:    {buffer_packets?}
+        extra:    {web_fraction?}
+    """
+    result = run_one(
+        protocol=str(spec.flows["protocol"]),
+        n_flows=int(spec.flows.get("n_flows", 40)),
+        link_bps=float(spec.topology.get("bandwidth_bps", 15e6)),
+        duration=spec.duration,
+        base_rtt=float(spec.topology.get("base_rtt", 0.045)),
+        start_spread=float(spec.topology.get("start_spread", 20.0)),
+        buffer_packets=int(spec.queue.get("buffer_packets", 250)),
+        web_fraction=float(spec.extra.get("web_fraction", 0.2)),
+        seed=spec.seed,
     )
+    return {
+        "protocol": result.protocol,
+        "queue_series": [[float(t), int(d)] for t, d in result.queue_series],
+        "drop_rate": result.drop_rate,
+        "utilization": result.utilization,
+        "mean_queue": result.mean_queue,
+        "queue_std": result.queue_std,
+    }
+
+
+def _result_from_cell(data: JsonDict) -> QueueDynamicsResult:
+    return QueueDynamicsResult(
+        protocol=str(data["protocol"]),
+        queue_series=[(float(t), int(d)) for t, d in data["queue_series"]],
+        drop_rate=float(data["drop_rate"]),
+        utilization=float(data["utilization"]),
+        mean_queue=float(data["mean_queue"]),
+        queue_std=float(data["queue_std"]),
+    )
+
+
+def run(
+    duration: float = 30.0,
+    seed: int = 0,
+    n_flows: int = 40,
+    link_bps: float = 15e6,
+    base_rtt: float = 0.045,
+    start_spread: float = 20.0,
+    buffer_packets: int = 250,
+    web_fraction: float = 0.2,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Fig14Result:
+    """Both variants of the Figure 14 scenario as a two-cell sweep."""
+    base = ScenarioSpec(
+        scenario="fig14_queue_dynamics",
+        duration=float(duration),
+        seed=seed,
+        topology={
+            "bandwidth_bps": float(link_bps),
+            "base_rtt": float(base_rtt),
+            "start_spread": float(start_spread),
+        },
+        flows={"protocol": "tcp", "n_flows": int(n_flows)},
+        queue={"buffer_packets": int(buffer_packets)},
+        extra={"web_fraction": float(web_fraction)},
+    )
+    sweep = SweepRunner(
+        base,
+        {"flows.protocol": ["tcp", "tfrc"]},
+        parallel=parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+    ).run()
+    by_protocol = {}
+    for cell in sweep.cells:
+        assert cell.result is not None
+        result = _result_from_cell(cell.result)
+        by_protocol[result.protocol] = result
+    return Fig14Result(tcp=by_protocol["tcp"], tfrc=by_protocol["tfrc"])

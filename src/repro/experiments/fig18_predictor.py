@@ -10,23 +10,26 @@ loss interval sequences).
 The expected shape: errors are broadly flat across history sizes with a
 shallow optimum around 8 intervals, and decreasing weights do no worse than
 constant weights.
+
+Each trace collection (one path, one seed) is a registered ``fig18_trace``
+scenario cell, so multi-path trace gathering runs as a
+:class:`~repro.scenarios.sweep.SweepRunner` sweep (``--parallel``/
+``--cache``); the predictor scoring itself is cheap numpy post-processing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.predictor import predictor_errors
 from repro.experiments.internet import PATHS, PathProfile
-from repro.net import Dumbbell, DumbbellConfig
-from repro.net.monitor import FlowMonitor
-from repro.core import TfrcFlow
-from repro.sim import Simulator
-from repro.sim.rng import RngRegistry
-from repro.traffic.onoff import OnOffSource
+from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
+from repro.scenarios.builders import run_tfrc_probe_path
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 
 PAPER_HISTORY_SIZES = (2, 4, 8, 16, 32)
 
@@ -47,30 +50,28 @@ def collect_loss_intervals(
     seed: int = 0,
 ) -> List[float]:
     """Run one TFRC flow over a synthetic path; return its loss intervals."""
-    registry = RngRegistry(seed)
-    rng = registry.stream("topology")
-    sim = Simulator()
-    config = DumbbellConfig(
-        bandwidth_bps=profile.bandwidth_bps,
-        delay=profile.base_rtt / 4.0,
-        queue_type=profile.queue_type,
-        buffer_packets=profile.buffer_packets,
-    )
-    dumbbell = Dumbbell(sim, config, queue_rng=registry.stream("red"))
-    monitor = FlowMonitor()
-    fwd, rev = dumbbell.attach_flow("tfrc", profile.base_rtt)
-    flow = TfrcFlow(sim, "tfrc", fwd, rev, on_data=monitor.on_packet)
-    flow.start()
-    cross_rng = registry.stream("cross")
-    for i in range(profile.cross_sources):
-        flow_id = f"cross-{i}"
-        port, _ = dumbbell.attach_flow(flow_id, profile.base_rtt)
-        OnOffSource(
-            sim, flow_id, port, rng=cross_rng, peak_rate_bps=profile.cross_peak_bps
-        ).start(at=rng.uniform(0.0, 5.0))
-    sim.run(until=duration)
-    events = flow.receiver.detector.events
+    run = run_tfrc_probe_path(profile, duration=duration, seed=seed)
+    assert run.tfrc_flow is not None
+    events = run.tfrc_flow.receiver.detector.events
     return [float(e.closed_interval) for e in events[1:]]  # skip the seed event
+
+
+@register_scenario("fig18_trace")
+def trace_scenario(spec: ScenarioSpec) -> JsonDict:
+    """One loss-interval trace collection as a sweep cell.
+
+    Spec layout::
+
+        topology: the full :class:`PathProfile` as plain data
+
+    The cell's ``seed`` is the spec seed (the runner sweeps an explicit
+    ``seed`` axis zipped with the path axis via per-cell overrides).
+    """
+    profile = PathProfile.from_dict(dict(spec.topology))
+    intervals = collect_loss_intervals(
+        profile, duration=spec.duration, seed=spec.seed
+    )
+    return {"path": profile.name, "intervals": intervals}
 
 
 def run(
@@ -78,11 +79,40 @@ def run(
     paths: Sequence[str] = ("ucl", "umass_linux", "nokia"),
     duration: float = 150.0,
     seed: int = 0,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Fig18Result:
-    """Score both weighting schemes on traces from several paths."""
+    """Score both weighting schemes on traces from several paths.
+
+    Trace collection (the expensive part) is one sweep cell per path; the
+    cells keep the historical per-path seeds (``seed + path_index``) via an
+    explicit ``seed`` override zipped with the path axis.
+    """
+    if not paths:
+        raise ValueError("paths must not be empty")
+    base = ScenarioSpec(
+        scenario="fig18_trace",
+        duration=float(duration),
+        seed=seed,
+        topology=PATHS[paths[0]].to_dict(),
+    )
+    sweep = SweepRunner(
+        base,
+        {
+            ("topology", "seed"): [
+                (PATHS[name].to_dict(), seed + index)
+                for index, name in enumerate(paths)
+            ]
+        },
+        parallel=parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+    ).run()
     traces = []
-    for index, name in enumerate(paths):
-        trace = collect_loss_intervals(PATHS[name], duration=duration, seed=seed + index)
+    for name, cell in zip(paths, sweep.cells):
+        assert cell.result is not None
+        trace = [float(v) for v in cell.result["intervals"]]
         if len(trace) > max(history_sizes) + 5:
             traces.append(trace)
     if not traces:

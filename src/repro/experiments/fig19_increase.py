@@ -10,23 +10,30 @@ entirely.  The paper observes the allowed sending rate (packets per RTT):
   to at most ~0.28 packets/RTT.
 
 The experiment samples the sender's allowed rate every RTT and reports the
-observed per-RTT increments before and after discounting engages.
+observed per-RTT increments before and after discounting engages.  Each run
+is one ``fig19_increase`` scenario cell (the step-loss pattern is plain
+spec data), executed through the sweep runner for ``--parallel``/``--cache``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
-
-import numpy as np
+from typing import List, Optional
 
 from repro.core.equations import (
     DELTA_T_DISCOUNTED_BOUND,
     DELTA_T_EQ1_BOUND,
     analytic_rate_increase,
 )
-from repro.experiments.common import run_single_tfrc_on_lossy_path
-from repro.net.path import periodic_loss, scheduled_loss
+from repro.scenarios import ScenarioSpec, register_scenario, run_single_cell
+from repro.scenarios.builders import (
+    lossless_phase,
+    loss_model_from_spec,
+    periodic_phase,
+    run_single_tfrc_on_lossy_path,
+)
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 
 
 @dataclass
@@ -80,36 +87,72 @@ class Fig19Result:
         return float("inf")
 
 
+@register_scenario("fig19_increase")
+def increase_scenario(spec: ScenarioSpec) -> JsonDict:
+    """The Appendix A.1 probe run as one sweep cell.
+
+    Spec layout::
+
+        topology: {rtt?}
+        loss:     {model: "scheduled", phases: [...]} (loss stops mid-run)
+        extra:    {probe_interval?, history_discounting?}
+    """
+    rtt = float(spec.topology.get("rtt", 0.1))
+    series: JsonDict = {"times": [], "rate_pkts_per_rtt": []}
+
+    def probe(sim, flow) -> None:
+        series["times"].append(sim.now)
+        series["rate_pkts_per_rtt"].append(
+            flow.sender.rate * rtt / flow.sender.packet_size
+        )
+
+    run_single_tfrc_on_lossy_path(
+        loss_model=loss_model_from_spec(dict(spec.loss)),
+        duration=spec.duration,
+        rtt=rtt,
+        probe=probe,
+        probe_interval=float(spec.extra.get("probe_interval", rtt)),
+        history_discounting=bool(spec.extra.get("history_discounting", True)),
+    )
+    return series
+
+
 def run(
     loss_period: int = 100,
     loss_stop_time: float = 10.0,
     duration: float = 13.0,
     rtt: float = 0.1,
     history_discounting: bool = True,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Fig19Result:
     """Run the Appendix A.1 scenario, sampling once per RTT."""
-
-    def no_loss(packet, now) -> bool:
-        return False
-
-    model = scheduled_loss(
-        [(0.0, periodic_loss(loss_period)), (loss_stop_time, no_loss)]
+    base = ScenarioSpec(
+        scenario="fig19_increase",
+        duration=float(duration),
+        topology={"rtt": float(rtt)},
+        loss={
+            "model": "scheduled",
+            "phases": [
+                periodic_phase(0.0, loss_period),
+                lossless_phase(loss_stop_time),
+            ],
+        },
+        extra={
+            "probe_interval": float(rtt),
+            "history_discounting": bool(history_discounting),
+        },
     )
-    result = Fig19Result(loss_stop_time=loss_stop_time, rtt=rtt)
-
-    def probe(sim, flow) -> None:
-        result.times.append(sim.now)
-        result.rate_pkts_per_rtt.append(flow.sender.rate * rtt / flow.sender.packet_size)
-
-    run_single_tfrc_on_lossy_path(
-        loss_model=model,
-        duration=duration,
+    data = run_single_cell(
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress
+    )
+    return Fig19Result(
+        times=list(data["times"]),
+        rate_pkts_per_rtt=list(data["rate_pkts_per_rtt"]),
+        loss_stop_time=loss_stop_time,
         rtt=rtt,
-        probe=probe,
-        probe_interval=rtt,
-        history_discounting=history_discounting,
     )
-    return result
 
 
 def analytic_bounds(average_interval: float = 100.0) -> dict:

@@ -7,16 +7,31 @@ sending rate taking **five** round-trip times to halve.
 Figure 21: the same scenario swept over initial drop rates 1/period for
 period in a range; the number of RTTs to halve the rate ranges from three
 to eight, with at least five at low drop rates.
+
+Each configuration is one ``fig20_halving`` scenario cell; Figure 21's drop
+-rate axis is a :class:`~repro.scenarios.sweep.SweepRunner` grid over the
+step-loss phases, so ``--parallel N`` fans the sweep out over worker
+processes and ``--cache`` re-uses previously simulated cells.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.experiments.common import run_single_tfrc_on_lossy_path
-from repro.net.path import periodic_loss, scheduled_loss
+from repro.scenarios import (
+    ScenarioSpec,
+    SweepRunner,
+    register_scenario,
+    run_single_cell,
+)
+from repro.scenarios.builders import (
+    loss_model_from_spec,
+    periodic_phase,
+    run_single_tfrc_on_lossy_path,
+)
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 
 
 @dataclass
@@ -43,34 +58,80 @@ class HalvingResult:
         return None
 
 
+@register_scenario("fig20_halving")
+def halving_scenario(spec: ScenarioSpec) -> JsonDict:
+    """One persistent-congestion probe run as a sweep cell.
+
+    Spec layout::
+
+        topology: {rtt?}
+        loss:     {model: "scheduled", phases: [...]} (congestion at onset)
+        extra:    {probe_interval?}
+    """
+    rtt = float(spec.topology.get("rtt", 0.1))
+    series: JsonDict = {"times": [], "rates": []}
+
+    def probe(sim, flow) -> None:
+        series["times"].append(sim.now)
+        series["rates"].append(flow.sender.rate)
+
+    run_single_tfrc_on_lossy_path(
+        loss_model=loss_model_from_spec(dict(spec.loss)),
+        duration=spec.duration,
+        rtt=rtt,
+        probe=probe,
+        probe_interval=float(spec.extra.get("probe_interval", rtt / 2.0)),
+    )
+    return series
+
+
+def _halving_spec(
+    initial_period: int,
+    congested_period: int,
+    onset: float,
+    duration: float,
+    rtt: float,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario="fig20_halving",
+        duration=float(duration),
+        topology={"rtt": float(rtt)},
+        loss={
+            "model": "scheduled",
+            "phases": _phases(initial_period, congested_period, onset),
+        },
+        extra={"probe_interval": float(rtt) / 2.0},
+    )
+
+
+def _phases(initial_period: int, congested_period: int, onset: float) -> List[JsonDict]:
+    return [
+        periodic_phase(0.0, initial_period),
+        periodic_phase(onset, congested_period),
+    ]
+
+
 def run(
     initial_period: int = 100,
     congested_period: int = 2,
     onset: float = 10.0,
     duration: float = 14.0,
     rtt: float = 0.1,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> HalvingResult:
     """Run the Figure 20 scenario."""
-    model = scheduled_loss(
-        [
-            (0.0, periodic_loss(initial_period)),
-            (onset, periodic_loss(congested_period)),
-        ]
+    base = _halving_spec(initial_period, congested_period, onset, duration, rtt)
+    data = run_single_cell(
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress
     )
-    result = HalvingResult(onset=onset, rtt=rtt)
-
-    def probe(sim, flow) -> None:
-        result.times.append(sim.now)
-        result.rates.append(flow.sender.rate)
-
-    run_single_tfrc_on_lossy_path(
-        loss_model=model,
-        duration=duration,
+    return HalvingResult(
+        times=list(data["times"]),
+        rates=list(data["rates"]),
+        onset=onset,
         rtt=rtt,
-        probe=probe,
-        probe_interval=rtt / 2.0,
     )
-    return result
 
 
 @dataclass
@@ -92,15 +153,38 @@ def run_sweep(
     onset: float = 10.0,
     duration: float = 16.0,
     rtt: float = 0.1,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Fig21Result:
-    """Figure 21: sweep the pre-congestion drop rate."""
+    """Figure 21: sweep the pre-congestion drop rate.
+
+    One grid axis -- the scheduled loss phases, one value per initial drop
+    period -- so every drop rate is an independent cell.
+    """
+    base = _halving_spec(
+        initial_periods[0], congested_period, onset, duration, rtt
+    )
+    sweep = SweepRunner(
+        base,
+        {
+            "loss.phases": [
+                _phases(period, congested_period, onset)
+                for period in initial_periods
+            ]
+        },
+        parallel=parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+    ).run()
     result = Fig21Result()
-    for period in initial_periods:
-        halving = run(
-            initial_period=period,
-            congested_period=congested_period,
+    for period, cell in zip(initial_periods, sweep.cells):
+        data = cell.result
+        assert data is not None
+        halving = HalvingResult(
+            times=list(data["times"]),
+            rates=list(data["rates"]),
             onset=onset,
-            duration=duration,
             rtt=rtt,
         )
         result.drop_rates.append(1.0 / period)

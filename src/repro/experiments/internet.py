@@ -20,44 +20,44 @@ behaviours the paper reports:
   close to the source: the phase-effect case that motivated the interpacket
   spacing adjustment.
 
-Each path carries n_tcp TCP flows and one TFRC flow plus ON/OFF cross
-traffic, and reports the same equivalence/CoV measures as the simulations.
+The topology half (profiles, flow attachment, cross traffic) lives in
+:mod:`repro.scenarios.builders` (:class:`PathProfile`,
+:func:`run_internet_path`); this module holds the paper's named profiles
+and the measurement/analysis layer.  Each path is one registered
+``internet_path`` scenario cell -- the profile itself is the spec's
+``topology`` group -- so multi-path runs are
+:class:`~repro.scenarios.sweep.SweepRunner` sweeps (``--parallel N``
+simulates paths concurrently, ``--cache`` re-uses them).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.cov import coefficient_of_variation
 from repro.analysis.equivalence import equivalence_ratio
 from repro.analysis.timeseries import arrivals_to_rate_series
-from repro.core import TfrcFlow
-from repro.net import Dumbbell, DumbbellConfig
-from repro.net.monitor import FlowMonitor, LinkMonitor
-from repro.sim import Simulator
-from repro.sim.rng import RngRegistry
-from repro.tcp.flow import TcpFlow
-from repro.traffic.onoff import OnOffSource
+from repro.scenarios import (
+    ScenarioSpec,
+    SweepRunner,
+    register_scenario,
+    run_single_cell,
+)
+from repro.scenarios.builders import PathProfile, run_internet_path
+from repro.scenarios.spec import JsonDict
+from repro.scenarios.sweep import ProgressFn
 
-
-@dataclass(frozen=True)
-class PathProfile:
-    """Synthetic stand-in for one of the paper's measurement paths."""
-
-    name: str
-    bandwidth_bps: float
-    base_rtt: float
-    buffer_packets: int
-    cross_sources: int
-    cross_peak_bps: float
-    tcp_min_rto: float
-    tcp_granularity: float
-    tcp_rto_k: float = 4.0
-    queue_type: str = "droptail"
-
+__all__ = [
+    "PATHS",
+    "PAPER_PATHS",
+    "PathProfile",
+    "InternetRunResult",
+    "run_path",
+    "run_all",
+]
 
 PATHS: Dict[str, PathProfile] = {
     "ucl": PathProfile(
@@ -119,6 +119,121 @@ class InternetRunResult:
     tcp_traces: List[List[float]] = field(default_factory=list)
 
 
+@register_scenario("internet_path")
+def internet_path_scenario(spec: ScenarioSpec) -> JsonDict:
+    """One synthetic path run as a sweep cell.
+
+    Spec layout::
+
+        topology: the full :class:`PathProfile` as plain data
+        flows:    {n_tcp?, interpacket_adjustment?}
+        extra:    {warmup?, timescales?, trace_tau?}
+    """
+    profile = PathProfile.from_dict(dict(spec.topology))
+    warmup = float(spec.extra.get("warmup", 20.0))
+    timescales = [
+        float(t) for t in spec.extra.get("timescales", (1.0, 2.0, 5.0, 10.0, 20.0))
+    ]
+    trace_tau = float(spec.extra.get("trace_tau", 1.0))
+    run = run_internet_path(
+        profile,
+        n_tcp=int(spec.flows.get("n_tcp", 3)),
+        duration=spec.duration,
+        interpacket_adjustment=bool(
+            spec.flows.get("interpacket_adjustment", True)
+        ),
+        seed=spec.seed,
+    )
+    flow_monitor = run.flow_monitor
+    t0, t1 = warmup, spec.duration
+    timescales = [t for t in timescales if t <= (t1 - t0) / 2]
+    out: JsonDict = {
+        "path": profile.name,
+        "loss_rate": run.link_monitor.loss_rate(),
+        "tcp_throughputs_bps": [
+            flow_monitor.throughput_bps(fid, t0, t1) for fid in run.tcp_ids
+        ],
+        "tfrc_throughput_bps": flow_monitor.throughput_bps("tfrc", t0, t1),
+        "equivalence_by_tau": {},
+        "cov_tcp_by_tau": {},
+        "cov_tfrc_by_tau": {},
+        "tcp_traces": [],
+    }
+    tfrc_arrivals = flow_monitor.arrivals.get("tfrc", [])
+    out["tfrc_trace"] = [
+        float(v) for v in arrivals_to_rate_series(tfrc_arrivals, t0, t1, trace_tau)
+    ]
+    for fid in run.tcp_ids:
+        arrivals = flow_monitor.arrivals.get(fid, [])
+        out["tcp_traces"].append(
+            [float(v) for v in arrivals_to_rate_series(arrivals, t0, t1, trace_tau)]
+        )
+    for tau in timescales:
+        series_tfrc = arrivals_to_rate_series(tfrc_arrivals, t0, t1, tau)
+        covs = []
+        ratios = []
+        for fid in run.tcp_ids:
+            series_tcp = arrivals_to_rate_series(
+                flow_monitor.arrivals.get(fid, []), t0, t1, tau
+            )
+            ratios.append(equivalence_ratio(series_tfrc, series_tcp))
+            covs.append(coefficient_of_variation(series_tcp))
+        key = repr(tau)
+        out["equivalence_by_tau"][key] = float(np.nanmean(ratios))
+        out["cov_tcp_by_tau"][key] = float(np.mean(covs))
+        out["cov_tfrc_by_tau"][key] = float(
+            coefficient_of_variation(series_tfrc)
+        )
+    return out
+
+
+def _result_from_cell(data: JsonDict) -> InternetRunResult:
+    return InternetRunResult(
+        path=str(data["path"]),
+        loss_rate=float(data["loss_rate"]),
+        tcp_throughputs_bps=[float(v) for v in data["tcp_throughputs_bps"]],
+        tfrc_throughput_bps=float(data["tfrc_throughput_bps"]),
+        equivalence_by_tau={
+            float(t): float(v) for t, v in data["equivalence_by_tau"].items()
+        },
+        cov_tcp_by_tau={
+            float(t): float(v) for t, v in data["cov_tcp_by_tau"].items()
+        },
+        cov_tfrc_by_tau={
+            float(t): float(v) for t, v in data["cov_tfrc_by_tau"].items()
+        },
+        tfrc_trace=[float(v) for v in data["tfrc_trace"]],
+        tcp_traces=[[float(v) for v in trace] for trace in data["tcp_traces"]],
+    )
+
+
+def _base_spec(
+    profile: PathProfile,
+    n_tcp: int,
+    duration: float,
+    warmup: float,
+    timescales: Sequence[float],
+    trace_tau: float,
+    interpacket_adjustment: bool,
+    seed: int,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        scenario="internet_path",
+        duration=float(duration),
+        seed=seed,
+        topology=profile.to_dict(),
+        flows={
+            "n_tcp": int(n_tcp),
+            "interpacket_adjustment": bool(interpacket_adjustment),
+        },
+        extra={
+            "warmup": float(warmup),
+            "timescales": [float(t) for t in timescales],
+            "trace_tau": float(trace_tau),
+        },
+    )
+
+
 def run_path(
     profile: PathProfile,
     n_tcp: int = 3,
@@ -128,92 +243,50 @@ def run_path(
     trace_tau: float = 1.0,
     interpacket_adjustment: bool = True,
     seed: int = 0,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> InternetRunResult:
     """Run n_tcp TCP flows + 1 TFRC flow + cross traffic over one path."""
-    registry = RngRegistry(seed)
-    rng = registry.stream("topology")
-    sim = Simulator()
-    config = DumbbellConfig(
-        bandwidth_bps=profile.bandwidth_bps,
-        delay=profile.base_rtt / 4.0,
-        queue_type=profile.queue_type,
-        buffer_packets=profile.buffer_packets,
+    base = _base_spec(
+        profile, n_tcp, duration, warmup, timescales, trace_tau,
+        interpacket_adjustment, seed,
     )
-    dumbbell = Dumbbell(sim, config, queue_rng=registry.stream("red"))
-    flow_monitor = FlowMonitor()
-    link_monitor = LinkMonitor(sim, dumbbell.forward_link, sample_queue=False)
-
-    tcp_ids = []
-    for i in range(n_tcp):
-        flow_id = f"tcp-{i}"
-        tcp_ids.append(flow_id)
-        fwd, rev = dumbbell.attach_flow(flow_id, profile.base_rtt * rng.uniform(0.95, 1.05))
-        TcpFlow(
-            sim, flow_id, fwd, rev, variant="sack",
-            on_data=flow_monitor.on_packet,
-            min_rto=profile.tcp_min_rto,
-            rto_granularity=profile.tcp_granularity,
-            rto_k=profile.tcp_rto_k,
-        ).start(at=rng.uniform(0.0, 2.0))
-    fwd, rev = dumbbell.attach_flow("tfrc", profile.base_rtt)
-    TfrcFlow(
-        sim, "tfrc", fwd, rev, on_data=flow_monitor.on_packet,
-        interpacket_adjustment=interpacket_adjustment,
-    ).start(at=rng.uniform(0.0, 2.0))
-
-    cross_rng = registry.stream("cross")
-    for i in range(profile.cross_sources):
-        flow_id = f"cross-{i}"
-        port, _ = dumbbell.attach_flow(flow_id, profile.base_rtt * rng.uniform(0.8, 1.2))
-        OnOffSource(
-            sim, flow_id, port, rng=cross_rng, peak_rate_bps=profile.cross_peak_bps
-        ).start(at=rng.uniform(0.0, 5.0))
-
-    sim.run(until=duration)
-
-    t0, t1 = warmup, duration
-    timescales = [t for t in timescales if t <= (t1 - t0) / 2]
-    result = InternetRunResult(
-        path=profile.name,
-        loss_rate=link_monitor.loss_rate(),
-        tcp_throughputs_bps=[
-            flow_monitor.throughput_bps(fid, t0, t1) for fid in tcp_ids
-        ],
-        tfrc_throughput_bps=flow_monitor.throughput_bps("tfrc", t0, t1),
+    data = run_single_cell(
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress
     )
-    tfrc_arrivals = flow_monitor.arrivals.get("tfrc", [])
-    result.tfrc_trace = [
-        float(v) for v in arrivals_to_rate_series(tfrc_arrivals, t0, t1, trace_tau)
-    ]
-    for fid in tcp_ids:
-        arrivals = flow_monitor.arrivals.get(fid, [])
-        result.tcp_traces.append(
-            [float(v) for v in arrivals_to_rate_series(arrivals, t0, t1, trace_tau)]
-        )
-    for tau in timescales:
-        series_tfrc = arrivals_to_rate_series(tfrc_arrivals, t0, t1, tau)
-        covs = []
-        ratios = []
-        for fid in tcp_ids:
-            series_tcp = arrivals_to_rate_series(
-                flow_monitor.arrivals.get(fid, []), t0, t1, tau
-            )
-            ratios.append(equivalence_ratio(series_tfrc, series_tcp))
-            covs.append(coefficient_of_variation(series_tcp))
-        result.equivalence_by_tau[tau] = float(np.nanmean(ratios))
-        result.cov_tcp_by_tau[tau] = float(np.mean(covs))
-        result.cov_tfrc_by_tau[tau] = coefficient_of_variation(series_tfrc)
-    return result
+    return _result_from_cell(data)
 
 
 def run_all(
     paths: Sequence[str] = PAPER_PATHS,
     duration: float = 120.0,
     seed: int = 0,
-    **kwargs,
+    n_tcp: int = 3,
+    warmup: float = 20.0,
+    timescales: Sequence[float] = (1.0, 2.0, 5.0, 10.0, 20.0),
+    trace_tau: float = 1.0,
+    interpacket_adjustment: bool = True,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Dict[str, InternetRunResult]:
-    """Figures 16/17: every named path."""
-    return {
-        name: run_path(PATHS[name], duration=duration, seed=seed, **kwargs)
-        for name in paths
-    }
+    """Figures 16/17: every named path, as one sweep over the profiles."""
+    if not paths:
+        return {}
+    base = _base_spec(
+        PATHS[paths[0]], n_tcp, duration, warmup, timescales, trace_tau,
+        interpacket_adjustment, seed,
+    )
+    sweep = SweepRunner(
+        base,
+        {"topology": [PATHS[name].to_dict() for name in paths]},
+        parallel=parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+    ).run()
+    results: Dict[str, InternetRunResult] = {}
+    for name, cell in zip(paths, sweep.cells):
+        assert cell.result is not None
+        results[name] = _result_from_cell(cell.result)
+    return results

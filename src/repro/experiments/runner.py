@@ -15,10 +15,10 @@ import sys
 from typing import Callable, Dict
 
 
-def _fig02(quick: bool, plot: bool = False) -> None:
+def _fig02(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig02_loss_interval as fig02
 
-    result = fig02.run(duration=12.0 if quick else 16.0)
+    result = fig02.run(duration=12.0 if quick else 16.0, **sweep)
     summary = fig02.summarize(result)
     print("Figure 2 (Average Loss Interval under periodic loss)")
     for key, value in summary.items():
@@ -100,11 +100,14 @@ def _fig06(quick: bool, plot: bool = False, **sweep: object) -> None:
         )
 
 
-def _fig08(quick: bool, plot: bool = False) -> None:
+def _fig08(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig08_smoothness as fig08
 
-    for queue_type in ("red", "droptail"):
-        result = fig08.run(queue_type=queue_type, duration=20.0 if quick else 30.0)
+    results = fig08.run_queues(
+        queue_types=("red", "droptail"), duration=20.0 if quick else 30.0,
+        **sweep,
+    )
+    for queue_type, result in results.items():
         print(
             f"Figure 8 ({queue_type}): mean CoV at 0.15s -- "
             f"TCP {result.mean_cov_tcp:.2f}, TFRC {result.mean_cov_tfrc:.2f}"
@@ -172,10 +175,10 @@ def _fig11(quick: bool, plot: bool = False, **sweep: object) -> None:
         )
 
 
-def _fig14(quick: bool, plot: bool = False) -> None:
+def _fig14(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig14_queue_dynamics as fig14
 
-    result = fig14.run(duration=20.0 if quick else 30.0)
+    result = fig14.run(duration=20.0 if quick else 30.0, **sweep)
     print("Figure 14 (queue dynamics, 40 long-lived flows)")
     for res in (result.tcp, result.tfrc):
         print(
@@ -184,11 +187,12 @@ def _fig14(quick: bool, plot: bool = False) -> None:
         )
 
 
-def _fig15(quick: bool, plot: bool = False) -> None:
+def _fig15(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import internet
 
     result = internet.run_path(
-        internet.PATHS["ucl"], n_tcp=3, duration=60.0 if quick else 120.0
+        internet.PATHS["ucl"], n_tcp=3, duration=60.0 if quick else 120.0,
+        **sweep,
     )
     print("Figure 15 (3 TCP + 1 TFRC over the synthetic UCL path)")
     mean_tcp = sum(result.tcp_throughputs_bps) / len(result.tcp_throughputs_bps)
@@ -196,10 +200,10 @@ def _fig15(quick: bool, plot: bool = False) -> None:
     print(f"  loss rate {result.loss_rate:.3f}")
 
 
-def _fig16(quick: bool, plot: bool = False) -> None:
+def _fig16(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import internet
 
-    results = internet.run_all(duration=60.0 if quick else 120.0)
+    results = internet.run_all(duration=60.0 if quick else 120.0, **sweep)
     print("Figures 16/17 (Internet paths): equivalence / CoV at tau=10s")
     for name, res in results.items():
         tau = max(res.equivalence_by_tau)
@@ -209,10 +213,10 @@ def _fig16(quick: bool, plot: bool = False) -> None:
         )
 
 
-def _fig18(quick: bool, plot: bool = False) -> None:
+def _fig18(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig18_predictor as fig18
 
-    result = fig18.run(duration=80.0 if quick else 150.0)
+    result = fig18.run(duration=80.0 if quick else 150.0, **sweep)
     print("Figure 18 (loss predictor error)")
     print("  history  constant        decreasing")
     for h in result.history_sizes:
@@ -230,10 +234,10 @@ def _fig18(quick: bool, plot: bool = False) -> None:
         print(histogram(labels, values, title="Fig 18: mean predictor error"))
 
 
-def _fig19(quick: bool, plot: bool = False) -> None:
+def _fig19(quick: bool, plot: bool = False, **sweep: object) -> None:
     from repro.experiments import fig19_increase as fig19
 
-    result = fig19.run(duration=13.0)
+    result = fig19.run(duration=13.0, **sweep)
     bounds = fig19.analytic_bounds()
     normal = result.max_increment(result.loss_stop_time + 0.5, result.loss_stop_time + 1.4)
     discounted = result.max_increment(result.loss_stop_time + 1.5, result.times[-1])
@@ -243,13 +247,14 @@ def _fig19(quick: bool, plot: bool = False) -> None:
     print(f"  analytic bounds: {bounds}")
 
 
-def _fig20(quick: bool, plot: bool = False) -> None:
+def _fig20(quick: bool, plot: bool = False, **sweep_kwargs: object) -> None:
     from repro.experiments import fig20_halving as fig20
 
-    result = fig20.run()
+    result = fig20.run(**sweep_kwargs)
     print(f"Figure 20: RTTs to halve under persistent congestion = {result.rtts_to_halve()}")
     sweep = fig20.run_sweep(
-        initial_periods=(100, 10) if quick else (200, 100, 50, 25, 10, 5, 4)
+        initial_periods=(100, 10) if quick else (200, 100, 50, 25, 10, 5, 4),
+        **sweep_kwargs,
     )
     print("Figure 21: drop rate -> RTTs to halve")
     for p, n in zip(sweep.drop_rates, sweep.rtts_to_halve):
@@ -303,7 +308,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--parallel", type=int, default=1, metavar="N",
-        help="run sweep cells on N worker processes (fig03/05/06/09/11)",
+        help="run sweep cells on N worker processes (every figure)",
     )
     parser.add_argument(
         "--cache", nargs="?", const=".tfrc-sweep-cache", default=None,
@@ -324,11 +329,8 @@ def main(argv=None) -> int:
             "progress": print_progress(),
         }
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    sweepable = {"fig03", "fig05", "fig06", "fig09", "fig11"}
     for name in names:
-        EXPERIMENTS[name](
-            args.quick, args.plot, **(sweep_kwargs if name in sweepable else {})
-        )
+        EXPERIMENTS[name](args.quick, args.plot, **sweep_kwargs)
         print()
     return 0
 

@@ -93,7 +93,17 @@ class REDQueue(Queue):
     The average queue size is an EWMA over instantaneous occupancy, updated
     on every arrival; while the link is idle the average decays as if
     ``idle_departures`` small packets had been serviced, per the RED paper.
+    The owning :class:`~repro.net.link.Link` reports its speed via
+    :meth:`set_service_rate`; a standalone queue falls back to
+    :attr:`fallback_service_rate_bps` so the idle decay never silently
+    freezes (``avg`` stuck across arbitrarily long idle periods was a
+    long-standing bug when no service rate was wired up).
     """
+
+    #: idle-decay fallback when :meth:`set_service_rate` was never called:
+    #: the paper's nominal 15 Mb/s bottleneck, giving a mean-packet service
+    #: time of ~0.53 ms for the default 1000-byte packets.
+    fallback_service_rate_bps = 15e6
 
     def __init__(
         self,
@@ -135,20 +145,29 @@ class REDQueue(Queue):
 
     def set_service_rate(self, bits_per_second: float) -> None:
         """Tell RED the link speed so the idle-decay estimate is sensible."""
+        if bits_per_second <= 0:
+            raise ValueError("service rate must be positive")
         self._service_rate_bps = bits_per_second
+
+    @property
+    def has_service_rate(self) -> bool:
+        """True once the owning link wired up :meth:`set_service_rate`."""
+        return self._service_rate_bps is not None
 
     def _update_average(self, now: float) -> None:
         if self._queue:
             self.avg += self.weight * (len(self._queue) - self.avg)
             return
-        # Queue is idle: decay avg as if m packets had departed while idle.
+        # Queue is idle: decay avg as if m packets had departed while idle,
+        # estimating the per-packet service time from the link speed (or
+        # the nominal fallback when no link ever reported one).
         if self._idle_since is None:
             self._idle_since = now
-        if self._service_rate_bps:
-            idle = max(0.0, now - self._idle_since)
-            packet_time = (self.mean_packet_size * 8) / self._service_rate_bps
-            if packet_time > 0:
-                self.avg *= (1.0 - self.weight) ** (idle / packet_time)
+        rate = self._service_rate_bps or self.fallback_service_rate_bps
+        idle = max(0.0, now - self._idle_since)
+        packet_time = (self.mean_packet_size * 8) / rate
+        if packet_time > 0:
+            self.avg *= (1.0 - self.weight) ** (idle / packet_time)
         # Re-anchor so the next arrival decays only the incremental idle
         # time; if this arrival is accepted the queue becomes busy and a
         # later dequeue-to-empty re-establishes the idle start.

@@ -224,6 +224,15 @@ class Dumbbell:
             cfg.build_queue(queue_rng),
             name="bottleneck-fwd",
         )
+        if isinstance(self.forward_link.queue, REDQueue):
+            # RED's idle decay needs the link speed; Link wires it up at
+            # construction.  Checked unconditionally (not an assert, which
+            # -O would strip) so a future refactor cannot silently
+            # reintroduce the frozen-average bug at the bottleneck.
+            if not self.forward_link.queue.has_service_rate:
+                raise RuntimeError(
+                    "bottleneck RED queue has no service rate wired up"
+                )
         reverse_bw = (
             cfg.reverse_bandwidth_bps
             if cfg.reverse_bandwidth_bps is not None

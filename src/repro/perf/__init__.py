@@ -2,19 +2,27 @@
 
 Runs a fixed scenario suite on both the endpoint fast path and the PR-1
 legacy path, records events/sec, wall time, and peak RSS per cell, and
-checks regressions against a committed baseline (``BENCH_PR2.json``).
+checks regressions against the committed PR-numbered baselines
+(``BENCH_PR<N>.json``, one per PR -- appended, never overwritten; ``--check
+latest`` gates against the newest).
 """
 
 from repro.perf.bench import (
     BENCH_SCENARIOS,
     check_against_baseline,
+    find_baselines,
+    latest_baseline,
     main,
+    next_baseline_path,
     run_cell,
     run_suite,
 )
 
 __all__ = [
     "BENCH_SCENARIOS",
+    "find_baselines",
+    "latest_baseline",
+    "next_baseline_path",
     "run_cell",
     "run_suite",
     "check_against_baseline",

@@ -18,12 +18,14 @@ and keeps it honest across PRs:
   deliberately not inflated by the fast path's higher raw event count
   (superseded timer entries pop as counted no-ops).
 
-``tfrc-bench --suite all --output BENCH_PR2.json`` writes the committed
-trajectory file; CI re-runs the smoke suite and fails when a scenario's
-speedup regresses by more than ``--tolerance`` (default 25%) against the
-committed baseline.  Speedups -- not absolute events/sec -- are compared,
-because absolute rates are machine-dependent while the fast/legacy ratio
-on identical workloads is not.
+The committed trajectory is one ``BENCH_PR<N>.json`` per PR (appended, never
+overwritten, so the trajectory stays comparable across PRs): ``tfrc-bench
+--suite all --output next`` writes the next PR-numbered file, and
+``--check latest`` gates against the newest committed one.  CI re-runs the
+smoke suite and fails when a scenario's speedup regresses by more than
+``--tolerance`` (default 25%).  Speedups -- not absolute events/sec -- are
+compared, because absolute rates are machine-dependent while the
+fast/legacy ratio on identical workloads is not.
 """
 
 from __future__ import annotations
@@ -31,7 +33,9 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import platform
+import re
 import sys
 import time
 from typing import Any, Callable, Dict, List, Optional
@@ -297,6 +301,42 @@ def build_report(
     }
 
 
+# ------------------------------------------------- PR-numbered trajectory
+
+#: the committed per-PR trajectory files: BENCH_PR<N>.json in the repo root.
+BASELINE_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def find_baselines(root: str = ".") -> List[str]:
+    """Committed ``BENCH_PR<N>.json`` file names in ``root``, by PR number."""
+    numbered = []
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return []
+    for name in names:
+        match = BASELINE_PATTERN.match(name)
+        if match:
+            numbered.append((int(match.group(1)), name))
+    return [name for _, name in sorted(numbered)]
+
+
+def latest_baseline(root: str = ".") -> Optional[str]:
+    """Path of the newest committed trajectory file, or None."""
+    names = find_baselines(root)
+    return os.path.join(root, names[-1]) if names else None
+
+
+def next_baseline_path(root: str = ".") -> str:
+    """Path for the *next* PR's trajectory file (append, never overwrite)."""
+    names = find_baselines(root)
+    if not names:
+        return os.path.join(root, "BENCH_PR1.json")
+    match = BASELINE_PATTERN.match(names[-1])
+    assert match is not None
+    return os.path.join(root, f"BENCH_PR{int(match.group(1)) + 1}.json")
+
+
 # ---------------------------------------------------------- regression gate
 
 
@@ -371,11 +411,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--output", metavar="PATH", default=None,
-        help="write the benchmark report JSON here",
+        help="write the benchmark report JSON here; the literal 'next' "
+        "resolves to the next PR-numbered trajectory file "
+        "(BENCH_PR<N+1>.json, never overwriting a committed one)",
     )
     parser.add_argument(
         "--check", metavar="BASELINE", default=None,
-        help="compare speedups against a committed baseline JSON; exit 1 "
+        help="compare speedups against a committed baseline JSON; the "
+        "literal 'latest' resolves to the newest BENCH_PR<N>.json; exit 1 "
         "on regression",
     )
     parser.add_argument(
@@ -388,6 +431,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--repeats must be >= 1")
     if not 0 <= args.tolerance < 1:
         parser.error("--tolerance must be in [0, 1)")
+    if args.output == "next":
+        args.output = next_baseline_path()
+    if args.check == "latest":
+        args.check = latest_baseline()
+        if args.check is None:
+            parser.error("--check latest: no committed BENCH_PR<N>.json found")
 
     scales = list(SCALES) if args.suite == "all" else [args.suite]
     suites: Dict[str, JsonDict] = {}

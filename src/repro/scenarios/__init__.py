@@ -18,11 +18,18 @@ scenarios:
 """
 
 from repro.scenarios.builders import (
+    InternetPathRun,
     MixedDumbbellResult,
+    PathProfile,
     SingleTfrcResult,
     build_mixed_dumbbell,
+    lossless_phase,
+    loss_model_from_spec,
+    periodic_phase,
+    run_internet_path,
     run_mixed_dumbbell,
     run_single_tfrc_on_lossy_path,
+    run_tfrc_probe_path,
     steady_state_window,
 )
 from repro.scenarios.cache import ResultCache
@@ -33,10 +40,18 @@ from repro.scenarios.spec import (
     register_scenario,
     run_scenario,
 )
-from repro.scenarios.sweep import SweepCell, SweepResult, SweepRunner, print_progress
+from repro.scenarios.sweep import (
+    SweepCell,
+    SweepResult,
+    SweepRunner,
+    print_progress,
+    run_single_cell,
+)
 
 __all__ = [
+    "InternetPathRun",
     "MixedDumbbellResult",
+    "PathProfile",
     "ResultCache",
     "ScenarioSpec",
     "SingleTfrcResult",
@@ -46,10 +61,16 @@ __all__ = [
     "build_mixed_dumbbell",
     "get_scenario",
     "list_scenarios",
+    "loss_model_from_spec",
+    "lossless_phase",
+    "periodic_phase",
     "print_progress",
     "register_scenario",
+    "run_internet_path",
     "run_mixed_dumbbell",
     "run_scenario",
+    "run_single_cell",
     "run_single_tfrc_on_lossy_path",
+    "run_tfrc_probe_path",
     "steady_state_window",
 ]

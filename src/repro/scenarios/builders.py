@@ -17,7 +17,7 @@ them from a :class:`~repro.scenarios.spec.ScenarioSpec` alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,12 +25,19 @@ import numpy as np
 from repro.core import TfrcFlow
 from repro.net import Dumbbell, DumbbellConfig
 from repro.net.monitor import FlowMonitor, LinkMonitor
-from repro.net.path import LossyPath, LossModel, bernoulli_loss, periodic_loss
+from repro.net.path import (
+    LossyPath,
+    LossModel,
+    bernoulli_loss,
+    periodic_loss,
+    scheduled_loss,
+)
 from repro.scenarios.spec import JsonDict, ScenarioSpec, register_scenario
 from repro.sim import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 from repro.tcp.flow import TcpFlow
+from repro.traffic.onoff import OnOffSource
 
 #: The paper's per-flow base RTT range (section 4.1.2): U(80, 120) ms.
 RTT_RANGE = (0.080, 0.120)
@@ -234,6 +241,167 @@ def run_single_tfrc_on_lossy_path(
     )
 
 
+# ----------------------------------------------------- internet-path builder
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """Synthetic stand-in for one of the paper's measurement paths.
+
+    A single-bottleneck path (bandwidth, base RTT, buffer, queue type)
+    carrying heavy uncontrolled ON/OFF cross traffic, plus per-path TCP
+    timer quirks (min RTO, granularity, variance multiplier ``rto_k``) that
+    reproduce the sender-stack behaviours the paper reports in section 4.3.
+    """
+
+    name: str
+    bandwidth_bps: float
+    base_rtt: float
+    buffer_packets: int
+    cross_sources: int
+    cross_peak_bps: float
+    tcp_min_rto: float
+    tcp_granularity: float
+    tcp_rto_k: float = 4.0
+    queue_type: str = "droptail"
+
+    def to_dict(self) -> JsonDict:
+        """Plain-dict form, usable as a spec's ``topology`` group."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PathProfile":
+        return cls(**dict(data))
+
+
+@dataclass
+class InternetPathRun:
+    """One synthetic internet-path run: monitors plus the attached flows."""
+
+    sim: Simulator
+    profile: PathProfile
+    dumbbell: Dumbbell
+    flow_monitor: FlowMonitor
+    link_monitor: Optional[LinkMonitor] = None
+    tcp_ids: List[str] = field(default_factory=list)
+    tfrc_flow: Optional[TfrcFlow] = None
+    duration: float = 0.0
+
+
+def _build_path_bottleneck(
+    profile: PathProfile, registry: RngRegistry, sim: Simulator
+) -> Dumbbell:
+    """The shared single-bottleneck topology of the synthetic paths."""
+    config = DumbbellConfig(
+        bandwidth_bps=profile.bandwidth_bps,
+        delay=profile.base_rtt / 4.0,
+        queue_type=profile.queue_type,
+        buffer_packets=profile.buffer_packets,
+    )
+    return Dumbbell(sim, config, queue_rng=registry.stream("red"))
+
+
+def run_internet_path(
+    profile: PathProfile,
+    n_tcp: int = 3,
+    duration: float = 120.0,
+    interpacket_adjustment: bool = True,
+    seed: int = 0,
+) -> InternetPathRun:
+    """Run ``n_tcp`` TCP flows + 1 TFRC flow + cross traffic over one path.
+
+    The topology half of the paper's section 4.3 methodology (Figures
+    15-18): construction order (and hence RNG draw order) is fixed, so one
+    ``(profile, seed)`` pair always produces the same run.
+    """
+    registry = RngRegistry(seed)
+    rng = registry.stream("topology")
+    sim = Simulator()
+    dumbbell = _build_path_bottleneck(profile, registry, sim)
+    flow_monitor = FlowMonitor()
+    link_monitor = LinkMonitor(sim, dumbbell.forward_link, sample_queue=False)
+
+    run = InternetPathRun(
+        sim=sim,
+        profile=profile,
+        dumbbell=dumbbell,
+        flow_monitor=flow_monitor,
+        link_monitor=link_monitor,
+        duration=duration,
+    )
+    for i in range(n_tcp):
+        flow_id = f"tcp-{i}"
+        run.tcp_ids.append(flow_id)
+        fwd, rev = dumbbell.attach_flow(
+            flow_id, profile.base_rtt * rng.uniform(0.95, 1.05)
+        )
+        TcpFlow(
+            sim, flow_id, fwd, rev, variant="sack",
+            on_data=flow_monitor.on_packet,
+            min_rto=profile.tcp_min_rto,
+            rto_granularity=profile.tcp_granularity,
+            rto_k=profile.tcp_rto_k,
+        ).start(at=rng.uniform(0.0, 2.0))
+    fwd, rev = dumbbell.attach_flow("tfrc", profile.base_rtt)
+    run.tfrc_flow = TfrcFlow(
+        sim, "tfrc", fwd, rev, on_data=flow_monitor.on_packet,
+        interpacket_adjustment=interpacket_adjustment,
+    )
+    run.tfrc_flow.start(at=rng.uniform(0.0, 2.0))
+
+    cross_rng = registry.stream("cross")
+    for i in range(profile.cross_sources):
+        flow_id = f"cross-{i}"
+        port, _ = dumbbell.attach_flow(
+            flow_id, profile.base_rtt * rng.uniform(0.8, 1.2)
+        )
+        OnOffSource(
+            sim, flow_id, port, rng=cross_rng,
+            peak_rate_bps=profile.cross_peak_bps,
+        ).start(at=rng.uniform(0.0, 5.0))
+
+    sim.run(until=duration)
+    return run
+
+
+def run_tfrc_probe_path(
+    profile: PathProfile,
+    duration: float = 150.0,
+    seed: int = 0,
+) -> InternetPathRun:
+    """One TFRC probe flow over a synthetic path with ON/OFF cross traffic.
+
+    The predictor-scoring harness (Figure 18): the monitored flow starts at
+    t=0 and its receiver-side loss-interval history is the product; cross
+    sources provide the bursty, non-stationary loss process.
+    """
+    registry = RngRegistry(seed)
+    rng = registry.stream("topology")
+    sim = Simulator()
+    dumbbell = _build_path_bottleneck(profile, registry, sim)
+    monitor = FlowMonitor()
+    fwd, rev = dumbbell.attach_flow("tfrc", profile.base_rtt)
+    flow = TfrcFlow(sim, "tfrc", fwd, rev, on_data=monitor.on_packet)
+    flow.start()
+    cross_rng = registry.stream("cross")
+    for i in range(profile.cross_sources):
+        flow_id = f"cross-{i}"
+        port, _ = dumbbell.attach_flow(flow_id, profile.base_rtt)
+        OnOffSource(
+            sim, flow_id, port, rng=cross_rng,
+            peak_rate_bps=profile.cross_peak_bps,
+        ).start(at=rng.uniform(0.0, 5.0))
+    sim.run(until=duration)
+    return InternetPathRun(
+        sim=sim,
+        profile=profile,
+        dumbbell=dumbbell,
+        flow_monitor=monitor,
+        tfrc_flow=flow,
+        duration=duration,
+    )
+
+
 def steady_state_window(duration: float, fraction: float = 0.5) -> Tuple[float, float]:
     """Measurement window skipping the warm-up: the last ``fraction`` of the
     run, mirroring the paper's "last 60 seconds" / "last 100 seconds" usage."""
@@ -245,25 +413,66 @@ def steady_state_window(duration: float, fraction: float = 0.5) -> Tuple[float, 
 # ------------------------------------------------------ declarative entry points
 
 
+def _never_drop(packet, now) -> bool:
+    return False
+
+
 def loss_model_from_spec(
-    loss: Dict[str, object], rng: np.random.Generator
+    loss: Dict[str, object], rng: Optional[np.random.Generator] = None
 ) -> Optional[LossModel]:
     """Instantiate a loss model from a spec's ``loss`` mapping.
 
     Supported: ``{}`` / ``{"model": "none"}`` (lossless),
-    ``{"model": "bernoulli", "probability": p}``, and
-    ``{"model": "periodic", "period": n, "offset": k}``.
+    ``{"model": "bernoulli", "probability": p}``,
+    ``{"model": "periodic", "period": n, "offset": k}``, and the
+    time-phased step-loss form the appendix figures use::
+
+        {"model": "scheduled",
+         "phases": [{"at": 0.0, "model": "periodic", "period": 100},
+                    {"at": 10.0, "model": "none"}]}
+
+    A ``scheduled`` model switches to each phase's inner model once its
+    ``at`` time passes (``"none"`` phases drop nothing), which expresses
+    Figure 2's 1% -> 10% -> 0.5% pattern and Figures 19-21's loss steps as
+    plain spec data.
     """
     model = str(loss.get("model", "none"))
     if model in ("none", ""):
         return None
     if model == "bernoulli":
+        if rng is None:
+            raise ValueError("bernoulli loss model needs an rng")
         return bernoulli_loss(float(loss.get("probability", 0.01)), rng)
     if model == "periodic":
         return periodic_loss(
             int(loss.get("period", 100)), offset=int(loss.get("offset", 0))
         )
+    if model == "scheduled":
+        phases = list(loss.get("phases", []))
+        if not phases:
+            raise ValueError("scheduled loss model needs at least one phase")
+        schedule: List[Tuple[float, LossModel]] = []
+        for phase in phases:
+            inner = {k: v for k, v in dict(phase).items() if k != "at"}
+            schedule.append(
+                (
+                    float(dict(phase).get("at", 0.0)),
+                    loss_model_from_spec(inner, rng) or _never_drop,
+                )
+            )
+        return scheduled_loss(schedule)
     raise ValueError(f"unknown loss model {model!r}")
+
+
+def periodic_phase(at: float, period: int, offset: int = 0) -> JsonDict:
+    """One ``scheduled`` phase dropping every ``period``-th packet."""
+    return {"at": float(at), "model": "periodic",
+            "period": int(period), "offset": int(offset)}
+
+
+def lossless_phase(at: float) -> JsonDict:
+    """One ``scheduled`` phase dropping nothing (loss switched off)."""
+    return {"at": float(at), "model": "none"}
 
 
 @register_scenario("mixed_dumbbell")

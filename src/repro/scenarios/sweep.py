@@ -50,7 +50,11 @@ class SweepCell:
     elapsed_seconds: float = 0.0
 
     def describe(self) -> str:
-        inner = ", ".join(f"{k}={v}" for k, v in self.overrides.items())
+        def short(value: Any) -> str:
+            text = str(value)
+            return text if len(text) <= 48 else text[:45] + "..."
+
+        inner = ", ".join(f"{k}={short(v)}" for k, v in self.overrides.items())
         return f"{self.spec.scenario}[{inner}]" if inner else self.spec.scenario
 
 
@@ -121,12 +125,27 @@ class SweepRunner:
 
         Axes iterate in insertion order, the last axis fastest (standard
         odometer order), so printed sweep output groups naturally.
+
+        A *zipped* axis -- a tuple of override paths whose values are
+        same-length tuples, e.g. ``{("topology", "seed"): [(profile_a, 7),
+        (profile_b, 8)]}`` -- varies several paths together as one axis
+        instead of taking their product.
         """
         axes = list(self.grid.items())
         combos = itertools.product(*(values for _, values in axes))
         expanded: List[SweepCell] = []
         for index, combo in enumerate(combos):
-            overrides = {key: value for (key, _), value in zip(axes, combo)}
+            overrides: Dict[str, Any] = {}
+            for (key, _), value in zip(axes, combo):
+                if isinstance(key, tuple):
+                    if len(key) != len(value):
+                        raise ValueError(
+                            f"zipped axis {key!r} expects values of length "
+                            f"{len(key)}, got {value!r}"
+                        )
+                    overrides.update(zip(key, value))
+                else:
+                    overrides[key] = value
             spec = self.base.override(overrides)
             if self.seed_mode == "derived" and "seed" not in overrides:
                 spec = spec.override({"seed": self.base.derive_seed(overrides)})
@@ -202,6 +221,27 @@ class SweepRunner:
     def _finish(self, cell: SweepCell) -> None:
         if self.cache is not None and cell.result is not None:
             self.cache.put(cell.spec, cell.result)
+
+
+def run_single_cell(
+    base: ScenarioSpec,
+    *,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
+) -> JsonDict:
+    """Execute a gridless spec as one sweep cell and return its result.
+
+    The figure modules whose headline run is a single cell still route it
+    through :class:`SweepRunner` so the CLI contract (``--cache`` result
+    re-use, progress reporting) applies uniformly.
+    """
+    sweep = SweepRunner(
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress
+    ).run()
+    result = sweep.cells[0].result
+    assert result is not None
+    return result
 
 
 def print_progress(stream=None) -> ProgressFn:

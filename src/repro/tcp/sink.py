@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.packet import Packet, PacketType
 from repro.sim.engine import Simulator
@@ -20,7 +20,9 @@ class TCPAckInfo:
             (used for RTT measurement at the sender, RFC 1323-style).
         echo_seq: sequence number of that data packet.
         sack_blocks: up to three ``(start, end)`` half-open ranges of
-            out-of-order data held by the receiver, most recent first.
+            out-of-order data held by the receiver, ordered by arrival
+            recency: the first block contains the most recently received
+            segment (RFC 2018 section 4).
     """
 
     echo_ts: float
@@ -52,6 +54,10 @@ class TCPSink:
         self.max_sack_blocks = max_sack_blocks
         self.next_expected = 0
         self._out_of_order: Set[int] = set()
+        # Arrival recency per out-of-order seq (monotone counter), so SACK
+        # blocks can be ordered most-recently-received first per RFC 2018.
+        self._arrival_order: Dict[int, int] = {}
+        self._arrivals_seen = 0
         self._pending_ack_echo: Optional[Tuple[float, int]] = None
         self._delack_event = None
         self.packets_received = 0
@@ -66,13 +72,20 @@ class TCPSink:
         if self.on_data is not None:
             self.on_data(self.sim.now, packet)
         seq = packet.seq
+        self._arrivals_seen += 1
         if seq < self.next_expected or seq in self._out_of_order:
             self.duplicate_data += 1
+            if seq in self._out_of_order:
+                # A duplicate of held out-of-order data is still the most
+                # recent arrival; its block must lead the next SACK.
+                self._arrival_order[seq] = self._arrivals_seen
             self._emit_ack(packet)  # duplicate data still triggers an ACK
             return
         self._out_of_order.add(seq)
+        self._arrival_order[seq] = self._arrivals_seen
         while self.next_expected in self._out_of_order:
             self._out_of_order.discard(self.next_expected)
+            self._arrival_order.pop(self.next_expected, None)
             self.next_expected += 1
         in_order = seq < self.next_expected
         if in_order and self.delayed_ack and not self._out_of_order:
@@ -112,21 +125,31 @@ class TCPSink:
         self._send(packet.sent_at, packet.seq)
 
     def _sack_blocks(self) -> List[Tuple[int, int]]:
-        """Contiguous ranges of out-of-order data above the cumulative ACK."""
+        """Contiguous ranges of out-of-order data above the cumulative ACK.
+
+        Ordered by arrival recency, newest block first: RFC 2018 requires
+        the first SACK block to contain the most recently received segment
+        (so a sender sampling only the first block still learns what just
+        arrived), not the highest-sequence block.
+        """
         if not self._out_of_order:
             return []
-        blocks: List[Tuple[int, int]] = []
+        order = self._arrival_order
+        blocks: List[Tuple[int, Tuple[int, int]]] = []
         seqs = sorted(self._out_of_order)
         start = prev = seqs[0]
+        recency = order.get(start, 0)
         for seq in seqs[1:]:
             if seq == prev + 1:
                 prev = seq
+                recency = max(recency, order.get(seq, 0))
                 continue
-            blocks.append((start, prev + 1))
+            blocks.append((recency, (start, prev + 1)))
             start = prev = seq
-        blocks.append((start, prev + 1))
-        blocks.sort(key=lambda b: -b[1])  # most recent (highest) first
-        return blocks[: self.max_sack_blocks]
+            recency = order.get(seq, 0)
+        blocks.append((recency, (start, prev + 1)))
+        blocks.sort(key=lambda b: -b[0])  # most recently received first
+        return [block for _, block in blocks[: self.max_sack_blocks]]
 
     def _send(self, echo_ts: float, echo_seq: int) -> None:
         info = TCPAckInfo(

@@ -159,6 +159,65 @@ class TestRED:
         q.enqueue(make_packet(101), now=5.0)
         assert q.avg < first  # kept decaying during the second idle period
 
+    def test_idle_decay_without_service_rate_falls_back(self):
+        """Regression: with no service rate wired up, avg used to freeze
+        across idle periods (the idle-decay branch was skipped entirely);
+        it must fall back to the mean-packet-size-derived packet time."""
+        q = self.make_red(weight=0.5)
+        assert not q.has_service_rate
+        for i in range(20):
+            q.enqueue(make_packet(i), 0.0)
+        while q.dequeue(0.0) is not None:
+            pass
+        avg_before = q.avg
+        assert avg_before > 0
+        # 10 s idle at the 15 Mb/s fallback is ~18750 packet-times: the
+        # average must have decayed to (essentially) zero, not stayed put.
+        q.enqueue(make_packet(99), now=10.0)
+        assert q.avg < avg_before * 0.01
+
+    def test_idle_decay_keeps_decaying_without_service_rate(self):
+        q = self.make_red(weight=0.5)
+        for i in range(40):
+            q.enqueue(make_packet(i), 0.0)
+        while q.dequeue(0.0) is not None:
+            pass
+        q.enqueue(make_packet(100), now=0.005)
+        q.dequeue(0.005)
+        first = q.avg
+        q.enqueue(make_packet(101), now=1.0)
+        assert q.avg < first
+
+    def test_explicit_service_rate_drives_idle_decay_speed(self):
+        """A slower link decays less over the same idle period."""
+        def decayed_avg(rate_bps):
+            q = self.make_red(weight=0.5)
+            q.set_service_rate(rate_bps)
+            for i in range(20):
+                q.enqueue(make_packet(i), 0.0)
+            while q.dequeue(0.0) is not None:
+                pass
+            q.enqueue(make_packet(99), now=0.05)
+            return q.avg
+
+        assert decayed_avg(64e3) > decayed_avg(15e6)
+
+    def test_link_wires_service_rate_into_red(self):
+        from repro.net.link import Link
+        from repro.sim.engine import Simulator
+
+        q = self.make_red()
+        assert not q.has_service_rate
+        Link(Simulator(), 2e6, 0.01, q)
+        assert q.has_service_rate
+
+    def test_dumbbell_wires_service_rate_into_red(self):
+        from repro.net.topology import Dumbbell, DumbbellConfig
+        from repro.sim.engine import Simulator
+
+        dumbbell = Dumbbell(Simulator(), DumbbellConfig(queue_type="red"))
+        assert dumbbell.forward_link.queue.has_service_rate
+
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
             self.make_red(min_thresh=50, max_thresh=10)
@@ -166,6 +225,8 @@ class TestRED:
             self.make_red(max_p=0.0)
         with pytest.raises(ValueError):
             self.make_red(weight=2.0)
+        with pytest.raises(ValueError):
+            self.make_red().set_service_rate(0.0)
 
     @given(st.integers(min_value=1, max_value=300))
     @settings(max_examples=30)

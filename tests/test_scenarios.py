@@ -85,14 +85,31 @@ class TestRegistry:
 
     def test_figure_scenarios_registered_on_import(self):
         from repro.experiments import (  # noqa: F401
+            fig02_loss_interval,
             fig03_oscillation,
             fig06_fairness_grid,
+            fig08_smoothness,
             fig09_equivalence,
             fig11_onoff,
+            fig14_queue_dynamics,
+            fig18_predictor,
+            fig19_increase,
+            fig20_halving,
+            internet,
         )
 
         assert {
-            "fig03_pipe", "fig06_cell", "fig09_replication", "fig11_onoff"
+            "fig02_loss_interval",
+            "fig03_pipe",
+            "fig06_cell",
+            "fig08_smoothness",
+            "fig09_replication",
+            "fig11_onoff",
+            "fig14_queue_dynamics",
+            "fig18_trace",
+            "fig19_increase",
+            "fig20_halving",
+            "internet_path",
         } <= set(list_scenarios())
 
     def test_unknown_scenario_raises(self):
@@ -163,6 +180,21 @@ class TestSweepRunner:
         assert [c.result for c in serial.cells] == [
             c.result for c in parallel.cells
         ]
+
+    def test_zipped_axis_varies_paths_together(self):
+        cells = SweepRunner(
+            self.BASE, {("extra.x", "seed"): [(1, 10), (2, 20)]}
+        ).cells()
+        assert [c.overrides for c in cells] == [
+            {"extra.x": 1, "seed": 10}, {"extra.x": 2, "seed": 20},
+        ]
+        assert [c.spec.seed for c in cells] == [10, 20]
+
+    def test_zipped_axis_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SweepRunner(
+                self.BASE, {("extra.x", "seed"): [(1, 10, 99)]}
+            ).cells()
 
     def test_shared_seed_mode_keeps_base_seed(self):
         cells = SweepRunner(self.BASE, {"extra.x": [1, 2]}).cells()

@@ -89,7 +89,7 @@ class TestSackBlocks:
         sink.receive(data(3))
         assert acks[-1].payload.sack_blocks == [(2, 4)]
 
-    def test_at_most_three_blocks_highest_first(self):
+    def test_at_most_three_blocks_newest_first(self):
         sim = Simulator()
         acks = []
         sink = TCPSink(sim, "f", send_ack=acks.append)
@@ -98,8 +98,8 @@ class TestSackBlocks:
             sink.receive(data(seq))
         blocks = acks[-1].payload.sack_blocks
         assert len(blocks) == 3
-        assert blocks[0] == (8, 9)
-        assert blocks == sorted(blocks, key=lambda b: -b[1])
+        # Ascending arrivals: recency order coincides with highest-first.
+        assert blocks == [(8, 9), (6, 7), (4, 5)]
 
     def test_blocks_empty_when_in_order(self):
         sim = Simulator()
@@ -107,6 +107,58 @@ class TestSackBlocks:
         sink = TCPSink(sim, "f", send_ack=acks.append)
         sink.receive(data(0))
         assert acks[-1].payload.sack_blocks == []
+
+
+class TestSackRecencyOrdering:
+    """RFC 2018 section 4: the first SACK block MUST report the block
+    containing the most recently received segment -- not the block with the
+    highest sequence numbers (the pre-fix behaviour)."""
+
+    def make(self):
+        sim = Simulator()
+        acks = []
+        sink = TCPSink(sim, "f", send_ack=acks.append)
+        return sink, acks
+
+    def test_first_block_reports_latest_arrival_not_highest_seq(self):
+        sink, acks = self.make()
+        sink.receive(data(0))
+        sink.receive(data(6))  # older out-of-order data, higher sequence
+        sink.receive(data(2))  # most recent arrival, lower sequence
+        assert acks[-1].payload.sack_blocks == [(2, 3), (6, 7)]
+
+    def test_extending_a_block_refreshes_its_recency(self):
+        sink, acks = self.make()
+        sink.receive(data(0))
+        sink.receive(data(2))
+        sink.receive(data(6))
+        sink.receive(data(3))  # extends (2,3) -> (2,4): now the newest block
+        assert acks[-1].payload.sack_blocks == [(2, 4), (6, 7)]
+
+    def test_duplicate_out_of_order_data_refreshes_recency(self):
+        sink, acks = self.make()
+        sink.receive(data(0))
+        sink.receive(data(2))
+        sink.receive(data(6))
+        sink.receive(data(2))  # duplicate of held data: still most recent
+        assert sink.duplicate_data == 1
+        assert acks[-1].payload.sack_blocks == [(2, 3), (6, 7)]
+
+    def test_oldest_block_evicted_when_over_limit(self):
+        sink, acks = self.make()
+        sink.receive(data(0))
+        for seq in (8, 6, 4, 2):  # descending: 2 is newest, 8 oldest
+            sink.receive(data(seq))
+        blocks = acks[-1].payload.sack_blocks
+        assert blocks == [(2, 3), (4, 5), (6, 7)]  # (8, 9) dropped: oldest
+
+    def test_cumack_advance_prunes_recency_state(self):
+        sink, acks = self.make()
+        sink.receive(data(0))
+        sink.receive(data(2))
+        sink.receive(data(1))  # fills the gap: cumack jumps to 3
+        assert acks[-1].payload.sack_blocks == []
+        assert sink._arrival_order == {}
 
 
 class TestDelayedAcks:
