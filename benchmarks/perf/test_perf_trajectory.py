@@ -73,6 +73,35 @@ class TestCommittedTrajectory:
             f"committed dumbbell_steady speedup {speedup:.2f}x < 1.5x"
         )
 
+    def test_pr4_acceptance_network_layer_fast_path(self):
+        """PR-4 acceptance, pinned file-vs-file (both committed on the
+        same machine, so the comparison is stable anywhere): the network
+        -layer fast path must lift the RED+ECN cell's fast-path events/sec
+        by >= 1.15x over the PR-3 trajectory, and the new SACK-heavy
+        recovery cell must be present with a healthy fast/legacy speedup.
+        """
+        pr3 = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+        pr4 = os.path.join(REPO_ROOT, "BENCH_PR4.json")
+        assert os.path.exists(pr4), (
+            "BENCH_PR4.json not committed: regenerate with "
+            "`tfrc-bench --suite all --isolate --output next`"
+        )
+        with open(pr3) as fh:
+            base = json.load(fh)
+        with open(pr4) as fh:
+            report = json.load(fh)
+        for scale in ("smoke", "full"):
+            before = base["suites"][scale]["red_ecn"]["fast"]["events_per_sec"]
+            after = report["suites"][scale]["red_ecn"]["fast"]["events_per_sec"]
+            assert after >= 1.15 * before, (
+                f"{scale}/red_ecn fast path {after:,.0f} ev/s is not 1.15x "
+                f"the PR-3 baseline {before:,.0f} ev/s"
+            )
+            sack = report["suites"][scale]["red_sack_recovery"]
+            assert sack["speedup"] >= 1.15, (
+                f"{scale}/red_sack_recovery speedup {sack['speedup']:.2f}x"
+            )
+
 
 class TestLiveSpeedup:
     @skip_timing_on_ci

@@ -8,6 +8,13 @@ adapter, and asserts the user-facing shape of the paper's claim:
 * the TFRC stream's delivery is smoother (lower CoV),
 * its player stalls no more than the TCP stream's, and
 * its quality adapter switches less often.
+
+The stall comparison aggregates over several seeds: a 150 s run produces
+only a handful of rebuffer events, so a single seed's stall count is
+drop-pattern roulette that any legitimate queue-level change (e.g. the
+PR-4 ns-2 alignment of RED's uniformization counter) can reshuffle.  The
+per-seed claims that are statistically stable (CoV, switch rate) are still
+asserted for every seed.
 """
 
 import numpy as np
@@ -19,12 +26,10 @@ from repro.apps import QualityAdapter, simulate_playout
 DURATION = 150.0
 WARMUP = 20.0
 TAU = 0.5
+SEEDS = range(5)
 
 
-def run_qoe_scenario():
-    from examples.video_streaming_qoe import run_scenario
-
-    monitor = run_scenario(seed=7)
+def analyze_monitor(monitor):
     out = {}
     for name in ("tfrc", "tcp"):
         arrivals = [
@@ -49,21 +54,32 @@ def run_qoe_scenario():
     return out
 
 
+def run_qoe_scenario():
+    from examples.video_streaming_qoe import run_scenario
+
+    return [analyze_monitor(run_scenario(seed=seed)) for seed in SEEDS]
+
+
 def test_extension_streaming_qoe(once, benchmark):
-    results = once(benchmark, run_qoe_scenario)
+    per_seed = once(benchmark, run_qoe_scenario)
     print("\nStreaming-QoE extension (per-stream, player at its own mean "
           "rate):")
-    for name, r in results.items():
-        print(f"  {name:4s}: mean {r['mean_bps'] / 1e6:.2f} Mb/s, "
-              f"CoV {r['cov']:.2f}, stalls {r['stalls']} "
-              f"({r['stall_time']:.1f} s), "
-              f"{r['switches_per_min']:.1f} switches/min, "
-              f"encoded {r['encoded_bps'] / 1e3:.0f} kb/s")
-    tfrc, tcp = results["tfrc"], results["tcp"]
-    # Both streams made real progress.
-    assert tfrc["mean_bps"] > 2e5 and tcp["mean_bps"] > 2e5
-    # Smoothness: the figure 8/10 claim.
-    assert tfrc["cov"] < tcp["cov"]
-    # Viewer impact: no more stalls, fewer quality switches.
-    assert tfrc["stalls"] <= tcp["stalls"]
-    assert tfrc["switches_per_min"] < tcp["switches_per_min"]
+    totals = {name: {"stalls": 0, "stall_time": 0.0} for name in ("tfrc", "tcp")}
+    for seed, results in zip(SEEDS, per_seed):
+        for name, r in results.items():
+            print(f"  seed {seed} {name:4s}: mean {r['mean_bps'] / 1e6:.2f} "
+                  f"Mb/s, CoV {r['cov']:.2f}, stalls {r['stalls']} "
+                  f"({r['stall_time']:.1f} s), "
+                  f"{r['switches_per_min']:.1f} switches/min, "
+                  f"encoded {r['encoded_bps'] / 1e3:.0f} kb/s")
+            totals[name]["stalls"] += r["stalls"]
+            totals[name]["stall_time"] += r["stall_time"]
+        tfrc, tcp = results["tfrc"], results["tcp"]
+        # Per-seed: both streams made real progress, TFRC is smoother and
+        # flaps between quality rungs less (the figure 8/10 claim).
+        assert tfrc["mean_bps"] > 2e5 and tcp["mean_bps"] > 2e5
+        assert tfrc["cov"] < tcp["cov"]
+        assert tfrc["switches_per_min"] < tcp["switches_per_min"]
+    # Aggregate viewer impact: no more rebuffering than TCP overall.
+    assert totals["tfrc"]["stalls"] <= totals["tcp"]["stalls"]
+    assert totals["tfrc"]["stall_time"] <= totals["tcp"]["stall_time"]

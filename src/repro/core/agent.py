@@ -54,10 +54,12 @@ class TfrcFlow:
         # Both halves share the timer implementation choice.
         if "fast_timers" in sender_kwargs:
             receiver_kwargs["fast_timers"] = sender_kwargs["fast_timers"]
+        # The ports' bool return (accepted?) is ignored by sender/receiver;
+        # handing the bound method over directly skips a per-packet lambda.
         self.sender = TfrcSender(
             sim,
             flow_id,
-            send_packet=lambda p: forward_port.send(p) and None,
+            send_packet=forward_port.send,
             packet_size=packet_size,
             tracer=tracer,
             **sender_kwargs,
@@ -65,7 +67,7 @@ class TfrcFlow:
         self.receiver = TfrcReceiver(
             sim,
             flow_id,
-            send_feedback=lambda p: reverse_port.send(p) and None,
+            send_feedback=reverse_port.send,
             packet_size=packet_size,
             on_data=on_data,
             **receiver_kwargs,

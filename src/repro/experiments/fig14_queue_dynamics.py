@@ -62,8 +62,15 @@ def run_one(
     buffer_packets: int = 250,
     web_fraction: float = 0.2,
     seed: int = 0,
+    queue_type: str = "droptail",
+    net_fastpath: bool = True,
 ) -> QueueDynamicsResult:
-    """Run the Figure 14 scenario with all long-lived flows of one protocol."""
+    """Run the Figure 14 scenario with all long-lived flows of one protocol.
+
+    The paper's setup uses a DropTail bottleneck; ``queue_type="red"`` swaps
+    in a RED queue (used by the net-fastpath equivalence tests), and
+    ``net_fastpath=False`` pins the legacy network layer.
+    """
     if protocol not in ("tcp", "tfrc"):
         raise ValueError("protocol must be 'tcp' or 'tfrc'")
     registry = RngRegistry(seed)
@@ -72,10 +79,13 @@ def run_one(
     config = DumbbellConfig(
         bandwidth_bps=link_bps,
         delay=0.010,
-        queue_type="droptail",
+        queue_type=queue_type,
         buffer_packets=buffer_packets,
     )
-    dumbbell = Dumbbell(sim, config)
+    dumbbell = Dumbbell(
+        sim, config, queue_rng=registry.stream("red"),
+        net_fastpath=net_fastpath,
+    )
     flow_monitor = FlowMonitor()
     link_monitor = LinkMonitor(sim, dumbbell.forward_link, sample_queue=True)
 
@@ -85,7 +95,8 @@ def run_one(
         fwd, rev = dumbbell.attach_flow(flow_id, rtt)
         if protocol == "tcp":
             flow = TcpFlow(sim, flow_id, fwd, rev, variant="sack",
-                           on_data=flow_monitor.on_packet)
+                           on_data=flow_monitor.on_packet,
+                           incremental_sack=net_fastpath)
         else:
             flow = TfrcFlow(sim, flow_id, fwd, rev, on_data=flow_monitor.on_packet)
         flow.start(at=rng.uniform(0.0, start_spread))
@@ -131,8 +142,8 @@ def queue_dynamics_scenario(spec: ScenarioSpec) -> JsonDict:
 
         topology: {bandwidth_bps?, base_rtt?, start_spread?}
         flows:    {protocol, n_flows?}
-        queue:    {buffer_packets?}
-        extra:    {web_fraction?}
+        queue:    {buffer_packets?, type?}
+        extra:    {web_fraction?, net_fastpath?}
     """
     result = run_one(
         protocol=str(spec.flows["protocol"]),
@@ -144,6 +155,8 @@ def queue_dynamics_scenario(spec: ScenarioSpec) -> JsonDict:
         buffer_packets=int(spec.queue.get("buffer_packets", 250)),
         web_fraction=float(spec.extra.get("web_fraction", 0.2)),
         seed=spec.seed,
+        queue_type=str(spec.queue.get("type", "droptail")),
+        net_fastpath=bool(spec.extra.get("net_fastpath", True)),
     )
     return {
         "protocol": result.protocol,

@@ -11,21 +11,28 @@ Two scheduling strategies are implemented:
 * the **batched fast path** (default): a single self-rescheduling wakeup
   loop per link tracks both the packet in service and the in-flight
   propagation train, using :meth:`Simulator.schedule_fast` entries that
-  allocate no :class:`~repro.sim.engine.Event` handles.  Packet timings are
-  identical to the legacy path; only the scheduler bookkeeping is cheaper.
+  allocate no :class:`~repro.sim.engine.Event` handles.  The wake chain is
+  fused: one frame dequeues the next packet, notifies the queue-sample
+  hooks, drains due deliveries and re-arms, against locals and a per-size
+  transmission-delay cache (packet sizes are few; each cached value is
+  produced by the same ``size*8/bandwidth`` expression, so timings stay
+  bit-identical).  Packet timings are identical to the legacy path; only
+  the bookkeeping is cheaper.
 * the **legacy per-packet path** (``fastpath=False``): one heap event per
   transmission completion plus one per delivery, kept as the baseline for
-  ``benchmarks/test_engine_fastpath.py``.
+  ``benchmarks/test_engine_fastpath.py`` and the ``tfrc-bench`` legacy
+  cells.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from math import inf
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
-from repro.net.queues import Queue, REDQueue
+from repro.net.queues import DropTailQueue, Queue, REDQueue
 from repro.sim.engine import Simulator
 
 Receiver = Callable[[Packet], None]
@@ -57,9 +64,11 @@ class Link:
         self._busy = False
         self.bytes_forwarded = 0
         self.packets_forwarded = 0
-        self._busy_accum = 0.0  # total seconds spent transmitting
-        self._tx_started_at: Optional[float] = None
+        self._busy_accum = 0.0  # total seconds charged for transmissions
         self._sample_hooks: List[Callable[[float, int], None]] = []
+        # Per-size transmission delays: simulations use a handful of packet
+        # sizes, so the division is paid once per distinct size.
+        self._tx_times: Dict[int, float] = {}
         # Fast-path state: the packet in service, its finish time, the
         # propagation train (delivery times are monotone since the finish
         # times are and the propagation delay is constant), and the time of
@@ -70,6 +79,15 @@ class Link:
         self._armed_time = inf
         if isinstance(queue, REDQueue):
             queue.set_service_rate(self.bandwidth_bps)
+        # The wake chain may inline the dequeue bookkeeping only for the
+        # two stock disciplines (their dequeue is pure FIFO bookkeeping
+        # plus, for RED, the idle timestamp); a custom subclass keeps its
+        # dequeue override honored.
+        self._red_queue = queue if type(queue) is REDQueue else None
+        self._inline_dequeue = type(queue) in (DropTailQueue, REDQueue)
+        if fastpath:
+            # Rebind the per-packet entry point to the fused variant.
+            self.send = self._send_fast  # type: ignore[method-assign]
 
     def connect(self, receiver: Receiver) -> None:
         """Attach the downstream consumer of delivered packets."""
@@ -81,32 +99,67 @@ class Link:
 
     def transmission_delay(self, packet: Packet) -> float:
         """Seconds to clock ``packet`` onto the wire at this link's rate."""
-        return packet.size * 8 / self.bandwidth_bps
+        size = packet.size
+        tx = self._tx_times.get(size)
+        if tx is None:
+            self._tx_times[size] = tx = size * 8 / self.bandwidth_bps
+        return tx
 
     @property
     def utilization_seconds(self) -> float:
-        """Cumulative busy time; divide by elapsed time for utilization."""
-        return self._busy_accum
+        """Cumulative busy time; divide by elapsed time for utilization.
+
+        Transmissions are charged in full when service starts; a packet
+        still on the wire at query time is clipped back to the portion
+        actually transmitted so mid-run (or end-of-run) utilization never
+        overcounts.
+        """
+        accum = self._busy_accum
+        if self._busy:
+            remaining = self._tx_finish - self.sim.now
+            if remaining > 0:
+                accum -= remaining
+        return accum
 
     def send(self, packet: Packet) -> bool:
-        """Offer ``packet`` to the link; returns False if the queue dropped it."""
+        """Offer ``packet`` to the link; returns False if the queue dropped it.
+
+        This body only serves ``fastpath=False`` links: the constructor
+        rebinds ``self.send`` to :meth:`_send_fast` on fast-path links.
+        """
         if self._receiver is None:
             raise RuntimeError(f"link {self.name} has no receiver connected")
         accepted = self.queue.enqueue(packet, self.sim.now)
         if self._sample_hooks:
             self._notify_queue_sample()
         if accepted and not self._busy:
-            if self.fastpath:
-                self._begin_service()
-            else:
-                self._start_transmission()
+            self._start_transmission()
+        return accepted
+
+    def _send_fast(self, packet: Packet) -> bool:
+        """Fused fast-path :meth:`send`: inlined sample notify, no
+        per-packet fastpath branch (the constructor rebinding is the
+        branch)."""
+        if self._receiver is None:
+            raise RuntimeError(f"link {self.name} has no receiver connected")
+        queue = self.queue
+        sim = self.sim
+        accepted = queue.enqueue(packet, sim._now)
+        hooks = self._sample_hooks
+        if hooks:
+            now = sim._now
+            depth = len(queue._queue)
+            for hook in hooks:
+                hook(now, depth)
+        if accepted and not self._busy:
+            self._begin_service()
         return accepted
 
     def _notify_queue_sample(self) -> None:
         # Call sites pre-check ``self._sample_hooks`` so unmonitored links
         # skip the call entirely.
-        now = self.sim.now
-        depth = len(self.queue)
+        now = self.sim._now
+        depth = len(self.queue._queue)
         for hook in self._sample_hooks:
             hook(now, depth)
 
@@ -114,37 +167,45 @@ class Link:
 
     def _begin_service(self) -> None:
         """Dequeue the next packet and put it in service."""
-        packet = self.queue.dequeue(self.sim.now)
-        if self._sample_hooks:
-            self._notify_queue_sample()
+        now = self.sim._now
+        queue = self.queue
+        packet = queue.dequeue(now)
+        hooks = self._sample_hooks
+        if hooks:
+            depth = len(queue._queue)
+            for hook in hooks:
+                hook(now, depth)
         if packet is None:
             self._busy = False
             return
         self._busy = True
-        tx = packet.size * 8 / self.bandwidth_bps
+        size = packet.size
+        tx = self._tx_times.get(size)
+        if tx is None:
+            self._tx_times[size] = tx = size * 8 / self.bandwidth_bps
         self._busy_accum += tx
         self._tx_packet = packet
-        self._tx_finish = self.sim.now + tx
-        self._arm()
-
-    def _arm(self) -> None:
-        """Ensure a wakeup is pending no later than the next due time.
-
-        Stale (redundant) wakeups are possible -- fast-path entries cannot
-        be cancelled -- but :meth:`_wake` is idempotent, so they only cost a
-        no-op pop.  They arise solely when service starts from idle while a
-        propagation train is still in flight.
-        """
-        need = self._tx_finish if self._tx_packet is not None else inf
-        if self._in_flight and self._in_flight[0][0] < need:
-            need = self._in_flight[0][0]
+        need = self._tx_finish = now + tx
+        # Arm (inlined): a wakeup must be pending no later than the next
+        # due time.  Stale (redundant) wakeups are possible -- fast-path
+        # entries cannot be cancelled -- but :meth:`_wake` is idempotent,
+        # so they only cost a no-op pop.  They arise solely when service
+        # starts from idle while a propagation train is still in flight.
+        # Entries are pushed straight onto the heap (schedule_fast minus
+        # the range check): wake times are structurally >= now.
+        in_flight = self._in_flight
+        if in_flight and in_flight[0][0] < need:
+            need = in_flight[0][0]
         if need < self._armed_time:
             self._armed_time = need
-            self.sim.schedule_fast(need, self._wake)
+            sim = self.sim
+            heappush(sim._heap, (need, 0, sim._seq, self._wake, (), None))
+            sim._seq += 1
 
     def _wake(self) -> None:
+        """One fused service step: finish tx, restock, deliver, re-arm."""
         sim = self.sim
-        now = sim.now
+        now = sim._now
         if now >= self._armed_time:
             self._armed_time = inf
         packet = self._tx_packet
@@ -154,26 +215,46 @@ class Link:
             self.packets_forwarded += 1
             in_flight.append((self._tx_finish + self.propagation_delay, packet))
             # Put the next queued packet in service (inlined _begin_service).
-            packet = self.queue.dequeue(now)
-            if self._sample_hooks:
-                self._notify_queue_sample()
-            if packet is None:
-                self._tx_packet = None
-                self._tx_finish = inf
-                self._busy = False
-            else:
-                tx = packet.size * 8 / self.bandwidth_bps
+            # The emptiness pre-check mirrors the legacy path, which never
+            # dequeues (nor samples the queue) when nothing is waiting.
+            queue = self.queue
+            q = queue._queue
+            if q:
+                if self._inline_dequeue:
+                    packet = q.popleft()
+                    queue.bytes_queued -= packet.size
+                    queue.dequeued += 1
+                    if not q and self._red_queue is not None:
+                        self._red_queue._idle_since = now
+                else:
+                    packet = queue.dequeue(now)
+                if self._sample_hooks:
+                    depth = len(q)
+                    for hook in self._sample_hooks:
+                        hook(now, depth)
+                size = packet.size
+                tx = self._tx_times.get(size)
+                if tx is None:
+                    self._tx_times[size] = tx = size * 8 / self.bandwidth_bps
                 self._busy_accum += tx
                 self._tx_packet = packet
                 self._tx_finish = now + tx
-        while in_flight and in_flight[0][0] <= now:
-            self._receiver(in_flight.popleft()[1])
+            else:
+                self._tx_packet = None
+                self._tx_finish = inf
+                self._busy = False
+        if in_flight:
+            receiver = self._receiver
+            popleft = in_flight.popleft
+            while in_flight and in_flight[0][0] <= now:
+                receiver(popleft()[1])
         need = self._tx_finish
         if in_flight and in_flight[0][0] < need:
             need = in_flight[0][0]
         if need < self._armed_time:
             self._armed_time = need
-            sim.schedule_fast(need, self._wake)
+            heappush(sim._heap, (need, 0, sim._seq, self._wake, (), None))
+            sim._seq += 1
 
     # ------------------------------------------------ legacy per-packet path
 
@@ -187,6 +268,7 @@ class Link:
         self._busy = True
         tx = self.transmission_delay(packet)
         self._busy_accum += tx
+        self._tx_finish = self.sim.now + tx
         self.sim.schedule_in(tx, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
@@ -195,6 +277,7 @@ class Link:
         self.sim.schedule_in(self.propagation_delay, self._deliver, packet)
         # Start on the next queued packet, if any.
         self._busy = False
+        self._tx_finish = inf
         if not self.queue.is_empty:
             self._start_transmission()
 

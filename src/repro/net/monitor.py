@@ -50,7 +50,7 @@ class LinkMonitor:
         self._drops_legacy: List[Tuple[float, str]] = []
         self._wrap_queue()
         if sample_queue:
-            link.add_queue_sample_hook(self._on_queue_sample)
+            link.add_queue_sample_hook(self._make_queue_hook())
 
     @property
     def queue_samples(self) -> List[Tuple[float, int]]:
@@ -94,6 +94,33 @@ class LinkMonitor:
             self._queue_samples_legacy.append((now, depth))
         if self.tracer is not None:
             self.tracer.record(now, "queue", self.link.name, depth)
+
+    def _make_queue_hook(self):
+        """A per-sample hook specialized once for this monitor's mode.
+
+        Queue samples fire on every enqueue *and* dequeue of a monitored
+        link, so the columnar/tracer branches of
+        :meth:`_on_queue_sample` are resolved here instead of per packet.
+        """
+        tracer = self.tracer
+        if not self.columnar:
+            # Legacy mode is the perf baseline: keep the generic method.
+            return self._on_queue_sample
+        times_append = self._queue_times.append
+        depths_append = self._queue_depths.append
+        if tracer is None:
+            def hook(now: float, depth: int) -> None:
+                times_append(now)
+                depths_append(depth)
+            return hook
+        record = tracer.record
+        name = self.link.name
+
+        def hook(now: float, depth: int) -> None:
+            times_append(now)
+            depths_append(depth)
+            record(now, "queue", name, depth)
+        return hook
 
     @property
     def drop_count(self) -> int:

@@ -12,6 +12,7 @@ tests can assert ``enqueued == dequeued + dropped + len(queue)``.
 from __future__ import annotations
 
 from collections import deque
+from math import exp, log
 from typing import Callable, Deque, List, Optional
 
 import numpy as np
@@ -74,12 +75,39 @@ class Queue:
 
 
 class DropTailQueue(Queue):
-    """FIFO queue that drops arrivals when full (tail drop)."""
+    """FIFO queue that drops arrivals when full (tail drop).
+
+    ``fastpath`` (default) rebinds ``enqueue`` to a fused variant with the
+    accept/drop bookkeeping inlined; decisions are identical either way.
+    """
+
+    def __init__(
+        self,
+        capacity_packets: int,
+        name: str = "queue",
+        fastpath: bool = True,
+    ) -> None:
+        super().__init__(capacity_packets, name=name)
+        self.fastpath = fastpath
+        if fastpath:
+            self.enqueue = self._enqueue_fast  # type: ignore[method-assign]
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         if len(self._queue) >= self.capacity_packets:
             return self._drop(packet)
         return self._accept(packet)
+
+    def _enqueue_fast(self, packet: Packet, now: float) -> bool:
+        queue = self._queue
+        if len(queue) >= self.capacity_packets:
+            self.dropped += 1
+            if self.drop_hook is not None:
+                self.drop_hook(packet)
+            return False
+        queue.append(packet)
+        self.bytes_queued += packet.size
+        self.enqueued += 1
+        return True
 
 
 class REDQueue(Queue):
@@ -98,6 +126,26 @@ class REDQueue(Queue):
     :attr:`fallback_service_rate_bps` so the idle decay never silently
     freezes (``avg`` stuck across arbitrarily long idle periods was a
     long-standing bug when no service rate was wired up).
+
+    Two per-packet code paths exist:
+
+    * the **fast path** (default): one fused ``enqueue`` with the EWMA
+      update, drop-probability and uniformization inlined, hoisted
+      constants (threshold range, per-packet service time, ``1 - w`` and
+      its log for the idle decay via ``exp``), and block-buffered uniform
+      draws -- numpy fills array draws from the same bit stream as repeated
+      scalar calls, so the decision stream is unchanged.  Because draws are
+      buffered ahead, the queue's ``rng`` must not be shared with any other
+      consumer (every in-repo builder hands RED a dedicated stream).
+    * the **legacy path** (``fastpath=False``): the original per-packet
+      recomputation, kept as the perf baseline.  Both paths make
+      bit-identical decisions (fuzz-tested in
+      ``tests/test_net_fastpath.py``).
+
+    Forced drops (buffer overflow or ``p_b >= 1``) reset the uniformization
+    counter to 0, matching ns-2 RED and the 1993 RED paper's pseudocode
+    (``count <- 0`` on every drop); the counter is -1 only while the
+    average sits below ``min_thresh``.
     """
 
     #: idle-decay fallback when :meth:`set_service_rate` was never called:
@@ -117,6 +165,7 @@ class REDQueue(Queue):
         mean_packet_size: int = 1000,
         ecn: bool = False,
         name: str = "red",
+        fastpath: bool = True,
     ) -> None:
         super().__init__(capacity_packets, name=name)
         if not 0 < min_thresh < max_thresh:
@@ -133,7 +182,7 @@ class REDQueue(Queue):
         self.mean_packet_size = mean_packet_size
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.avg = 0.0
-        self._count_since_drop = -1  # -1: no packet since last drop decision
+        self._count_since_drop = -1  # -1: average below min_thresh
         self._idle_since: Optional[float] = None
         self._service_rate_bps: Optional[float] = None  # set by the owning link
         #: with ECN enabled, early congestion marks capable packets instead
@@ -142,12 +191,36 @@ class REDQueue(Queue):
         self.early_drops = 0
         self.forced_drops = 0
         self.ecn_marks = 0
+        self.fastpath = fastpath
+        # Hoisted per-packet constants.  Each is produced by the *same*
+        # float expression the legacy path evaluates per packet, so using
+        # the cached value is bit-identical; only the idle-decay
+        # ``exp(log(1-w) * m)`` replaces ``(1-w) ** m`` (equal to within
+        # the last ulp of libm -- decision-identical in practice, asserted
+        # against the legacy path in the equivalence tests).
+        self._thresh_range = self.max_thresh - self.min_thresh
+        self._two_max_thresh = 2 * self.max_thresh
+        self._one_minus_max_p = 1.0 - self.max_p
+        # ``weight == 1`` (legal, degenerate EWMA) has no finite log; the
+        # fast path then falls back to the legacy power expression.
+        self._ln_one_minus_w = (
+            log(1.0 - self.weight) if self.weight < 1.0 else None
+        )
+        self._packet_time = (
+            self.mean_packet_size * 8
+        ) / self.fallback_service_rate_bps
+        # Block-buffered uniform draws (fast path only).
+        self._u_buf = self._rng.random(0)
+        self._u_i = 0
+        if fastpath:
+            self.enqueue = self._enqueue_fast  # type: ignore[method-assign]
 
     def set_service_rate(self, bits_per_second: float) -> None:
         """Tell RED the link speed so the idle-decay estimate is sensible."""
         if bits_per_second <= 0:
             raise ValueError("service rate must be positive")
         self._service_rate_bps = bits_per_second
+        self._packet_time = (self.mean_packet_size * 8) / bits_per_second
 
     @property
     def has_service_rate(self) -> bool:
@@ -186,22 +259,24 @@ class REDQueue(Queue):
         return 1.0
 
     def enqueue(self, packet: Packet, now: float) -> bool:
+        # Legacy per-packet path (the fast-path ctor rebinds ``enqueue`` to
+        # :meth:`_enqueue_fast`); kept as the perf baseline.
         self._update_average(now)
         if len(self._queue) >= self.capacity_packets:
             self.forced_drops += 1
-            self._count_since_drop = -1
+            self._count_since_drop = 0  # ns-2 RED: count <- 0 on every drop
             return self._drop(packet)
         p_b = self._drop_probability()
         if p_b >= 1.0:
             self.forced_drops += 1
-            self._count_since_drop = -1
+            self._count_since_drop = 0
             return self._drop(packet)
         if p_b > 0.0:
             self._count_since_drop += 1
             # Uniformize inter-drop gaps: p_a = p_b / (1 - count * p_b).
             denom = 1.0 - self._count_since_drop * p_b
             p_a = 1.0 if denom <= 0 else min(1.0, p_b / denom)
-            if self._rng.random() < p_a:
+            if self._next_uniform() < p_a:
                 self._count_since_drop = 0
                 if self.ecn and packet.ecn_capable:
                     packet.ecn_marked = True
@@ -212,6 +287,101 @@ class REDQueue(Queue):
         else:
             self._count_since_drop = -1
         return self._accept(packet)
+
+    def _next_uniform(self) -> float:
+        # Legacy-path draw: scalar, straight off the bit stream -- unless a
+        # fast-path buffer is outstanding (a queue toggled mid-run), in
+        # which case the buffer must drain first to keep the stream aligned.
+        if self._u_i < len(self._u_buf):
+            value = self._u_buf.item(self._u_i)
+            self._u_i += 1
+            return value
+        return float(self._rng.random())
+
+    def _enqueue_fast(self, packet: Packet, now: float) -> bool:
+        """Fused fast-path enqueue: identical decisions, hoisted math.
+
+        Inlines :meth:`_update_average`, :meth:`_drop_probability`, the
+        uniformization step and :meth:`_accept` into one frame, against
+        the constants precomputed in the constructor.
+        """
+        queue = self._queue
+        qlen = len(queue)
+        # --- EWMA update (inlined _update_average)
+        if qlen:
+            avg = self.avg + self.weight * (qlen - self.avg)
+            self.avg = avg
+        else:
+            idle_since = self._idle_since
+            if idle_since is None:
+                idle_since = now
+            idle = now - idle_since
+            if idle < 0.0:
+                idle = 0.0
+            # (1-w)**m  ==  exp(ln(1-w) * m), with ln(1-w) hoisted.
+            ln_base = self._ln_one_minus_w
+            m = idle / self._packet_time
+            if ln_base is not None:
+                avg = self.avg * exp(ln_base * m)
+            else:
+                avg = self.avg * (1.0 - self.weight) ** m
+            self.avg = avg
+            self._idle_since = now
+        # --- forced drop: buffer overflow
+        if qlen >= self.capacity_packets:
+            self.forced_drops += 1
+            self._count_since_drop = 0
+            return self._drop(packet)
+        # --- drop probability (inlined _drop_probability)
+        if avg < self.min_thresh:
+            self._count_since_drop = -1
+        else:
+            if avg < self.max_thresh:
+                p_b = (avg - self.min_thresh) / self._thresh_range * self.max_p
+            elif self.gentle and avg < self._two_max_thresh:
+                p_b = (
+                    self.max_p
+                    + (avg - self.max_thresh) / self.max_thresh
+                    * self._one_minus_max_p
+                )
+            else:
+                self.forced_drops += 1
+                self._count_since_drop = 0
+                return self._drop(packet)
+            if p_b >= 1.0:
+                self.forced_drops += 1
+                self._count_since_drop = 0
+                return self._drop(packet)
+            if p_b > 0.0:
+                count = self._count_since_drop + 1
+                self._count_since_drop = count
+                denom = 1.0 - count * p_b
+                p_a = 1.0 if denom <= 0 else min(1.0, p_b / denom)
+                # --- block-buffered uniform draw
+                i = self._u_i
+                buf = self._u_buf
+                if i >= len(buf):
+                    self._u_buf = buf = self._rng.random(64)
+                    i = 0
+                self._u_i = i + 1
+                if buf.item(i) < p_a:
+                    self._count_since_drop = 0
+                    if self.ecn and packet.ecn_capable:
+                        packet.ecn_marked = True
+                        self.ecn_marks += 1
+                        queue.append(packet)
+                        self.bytes_queued += packet.size
+                        self.enqueued += 1
+                        return True
+                    self.early_drops += 1
+                    return self._drop(packet)
+            else:
+                self._count_since_drop = -1
+        # --- accept (inlined _accept)
+        queue.append(packet)
+        self.bytes_queued += packet.size
+        self.enqueued += 1
+        return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
         packet = super().dequeue(now)

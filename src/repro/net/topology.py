@@ -17,6 +17,7 @@ topology:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -54,10 +55,16 @@ class DumbbellConfig:
     #: ~2 bottleneck packet times by default for the paper's 15 Mb/s link.
     access_jitter: float = 0.001
 
-    def build_queue(self, rng: Optional[np.random.Generator] = None) -> Queue:
+    def build_queue(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        fastpath: bool = True,
+    ) -> Queue:
         """Instantiate the configured forward queue discipline."""
         if self.queue_type == "droptail":
-            return DropTailQueue(self.buffer_packets, name="bottleneck-q")
+            return DropTailQueue(
+                self.buffer_packets, name="bottleneck-q", fastpath=fastpath
+            )
         if self.queue_type == "red":
             return REDQueue(
                 self.buffer_packets,
@@ -69,6 +76,7 @@ class DumbbellConfig:
                 rng=rng if rng is not None else np.random.default_rng(self.queue_seed),
                 mean_packet_size=self.mean_packet_size,
                 name="bottleneck-red",
+                fastpath=fastpath,
             )
         raise ValueError(f"unknown queue type {self.queue_type!r}")
 
@@ -144,36 +152,49 @@ class FlowPort:
         self.fast_scheduling = fast_scheduling
         self._last_ingress_arrival = 0.0
         self._receiver: Optional[Receiver] = None
+        # Per-packet hoists: whether any jitter applies, and the link's
+        # (possibly fused fast-path) send entry point.
+        self._jittered = jitter_rng is not None and jitter_max > 0
+        self._link_send = shared_link.send
 
     def connect(self, receiver: Receiver) -> None:
         self._receiver = receiver
 
     def send(self, packet: Packet) -> bool:
-        jittered = self.jitter_rng is not None and self.jitter_max > 0
         delay = self.ingress_delay
-        if jittered:
+        if self._jittered:
             # Small random processing jitter.  Deterministic simulators
             # otherwise exhibit phase effects: window-based (ACK-clocked)
             # arrivals synchronize with bottleneck departures while paced
             # arrivals do not, skewing DropTail drop probabilities.  The
             # jitter is clamped so packets of one flow never reorder.
-            if self._jitter_stream is not None:
-                delay += self._jitter_stream.next()
+            stream = self._jitter_stream
+            if stream is not None:
+                delay += stream.next()
             else:
                 delay += float(self.jitter_rng.uniform(0.0, self.jitter_max))
-        if not jittered and delay <= 0:
-            return self._link.send(packet)
+        elif delay <= 0:
+            return self._link_send(packet)
         # Always go through the scheduler when delayed/jittered: clamping to
         # the previous arrival plus heap FIFO keeps per-flow order even when
         # a later packet draws a smaller jitter.
-        arrival = max(self._sim.now + delay, self._last_ingress_arrival)
+        sim = self._sim
+        arrival = sim._now + delay
+        if arrival < self._last_ingress_arrival:
+            arrival = self._last_ingress_arrival
         self._last_ingress_arrival = arrival
         # Schedule at the *absolute* arrival time: recomputing now + (arrival
         # - now) loses bits and can invert the order of two equal arrivals.
         if self.fast_scheduling:
-            self._sim.schedule_fast(arrival, self._link.send, args=(packet,))
+            # Straight heap push (schedule_fast minus the range check):
+            # the clamp above keeps arrival >= now by construction.
+            heappush(
+                sim._heap,
+                (arrival, 0, sim._seq, self._link_send, (packet,), None),
+            )
+            sim._seq += 1
         else:
-            self._sim.schedule(arrival, self._link.send, packet)
+            sim.schedule(arrival, self._link_send, packet)
         return True  # access links never drop; loss is at the bottleneck
 
     def deliver(self, packet: Packet) -> None:
@@ -181,11 +202,19 @@ class FlowPort:
             return  # flow detached; drop silently
         if self.egress_delay > 0:
             if self.fast_scheduling:
-                self._sim.schedule_fast(
-                    self._sim.now + self.egress_delay,
-                    self._receiver,
-                    args=(packet,),
+                sim = self._sim
+                heappush(
+                    sim._heap,
+                    (
+                        sim._now + self.egress_delay,
+                        0,
+                        sim._seq,
+                        self._receiver,
+                        (packet,),
+                        None,
+                    ),
                 )
+                sim._seq += 1
             else:
                 self._sim.schedule_in(self.egress_delay, self._receiver, packet)
         else:
@@ -202,10 +231,14 @@ class Dumbbell:
         queue_rng: Optional[np.random.Generator] = None,
         jitter_rng: Optional[np.random.Generator] = None,
         fast_scheduling: bool = True,
+        net_fastpath: bool = True,
     ) -> None:
         self.sim = sim
         self.config = config if config is not None else DumbbellConfig()
         self.fast_scheduling = fast_scheduling
+        #: the PR-4 network-layer flag: batched link wake chains plus the
+        #: fused RED enqueue (``False`` pins the per-event legacy paths).
+        self.net_fastpath = net_fastpath
         self._jitter_rng = (
             jitter_rng if jitter_rng is not None else np.random.default_rng(11)
         )
@@ -221,8 +254,9 @@ class Dumbbell:
             sim,
             cfg.bandwidth_bps,
             cfg.delay,
-            cfg.build_queue(queue_rng),
+            cfg.build_queue(queue_rng, fastpath=net_fastpath),
             name="bottleneck-fwd",
+            fastpath=net_fastpath,
         )
         if isinstance(self.forward_link.queue, REDQueue):
             # RED's idle decay needs the link speed; Link wires it up at
@@ -242,8 +276,12 @@ class Dumbbell:
             sim,
             reverse_bw,
             cfg.delay,
-            DropTailQueue(cfg.reverse_buffer_packets, name="bottleneck-rev-q"),
+            DropTailQueue(
+                cfg.reverse_buffer_packets, name="bottleneck-rev-q",
+                fastpath=net_fastpath,
+            ),
             name="bottleneck-rev",
+            fastpath=net_fastpath,
         )
         self._forward_ports: Dict[str, FlowPort] = {}
         self._reverse_ports: Dict[str, FlowPort] = {}

@@ -6,10 +6,12 @@ scenarios the sweep runner can cover.  This harness pins that number down
 and keeps it honest across PRs:
 
 * a fixed scenario suite (endpoint-heavy dumbbell steady state, a Figure-6
-  style many-flow grid cell, ON/OFF churn, RED+ECN), each run on the
-  endpoint **fast path** and on the PR-1 **legacy path** (``Timer`` +
-  record-object tracing + dict-of-list monitors + per-packet access
-  scheduling), which the flags preserve bit-for-bit;
+  style many-flow grid cell, ON/OFF churn, RED+ECN, and a SACK-heavy RED
+  recovery workload), each run on the **fast path** (endpoint + network
+  layer) and on the fully **legacy path** (``Timer`` + record-object
+  tracing + dict-of-list monitors + per-packet access scheduling + the
+  per-event link/RED/SACK network layer), which the flags preserve
+  bit-for-bit;
 * per cell: engine-reported events/sec, wall seconds, and peak RSS;
 * a ``speedup`` per scenario defined as ``legacy_wall / fast_wall``.  The
   two paths produce byte-identical traces (asserted in
@@ -17,6 +19,13 @@ and keeps it honest across PRs:
   same, so the wall-time ratio *is* the normalized events/sec ratio --
   deliberately not inflated by the fast path's higher raw event count
   (superseded timer entries pop as counted no-ops).
+
+Since PR 4 the legacy cells also pin the *network-layer* legacy paths
+(per-packet link events, unfused RED math, per-ACK SACK re-sorts), so the
+speedup measures the full fast stack against the full PR-1 baseline; the
+PR-3 file predates that and its absolute speedups are not directly
+comparable (the CI gate always compares against the newest committed
+file).
 
 The committed trajectory is one ``BENCH_PR<N>.json`` per PR (appended, never
 overwritten, so the trajectory stays comparable across PRs): ``tfrc-bench
@@ -64,7 +73,8 @@ def _dumbbell_steady(scale: str, fast: bool):
     tracer = Tracer(columnar=fast)
     result = build_mixed_dumbbell(
         n_tfrc=8, n_tcp=8, bandwidth_bps=15e6, queue_type="red", seed=0,
-        endpoint_fastpath=fast, tracer=tracer, sample_queue=True,
+        endpoint_fastpath=fast, net_fastpath=fast, tracer=tracer,
+        sample_queue=True,
     )
     LinkMonitor(
         result.sim, result.dumbbell.reverse_link, tracer=tracer,
@@ -88,7 +98,7 @@ def _fig06_grid_cell(scale: str, fast: bool):
     duration = 6.0 if scale == "smoke" else 25.0
     result = build_mixed_dumbbell(
         n_tfrc=16, n_tcp=16, bandwidth_bps=32e6, queue_type="red", seed=0,
-        endpoint_fastpath=fast,
+        endpoint_fastpath=fast, net_fastpath=fast,
     )
 
     def finalize() -> JsonDict:
@@ -120,6 +130,7 @@ def _onoff_churn(scale: str, fast: bool):
     dumbbell = Dumbbell(
         sim, DumbbellConfig(bandwidth_bps=15e6, queue_type="red"),
         queue_rng=registry.stream("red"), fast_scheduling=fast,
+        net_fastpath=fast,
     )
     flow_monitor = FlowMonitor(columnar=fast)
     LinkMonitor(sim, dumbbell.forward_link, sample_queue=False, columnar=fast)
@@ -128,6 +139,7 @@ def _onoff_churn(scale: str, fast: bool):
     TcpFlow(
         sim, "tcp-mon", fwd, rev, variant="sack",
         on_data=flow_monitor.on_packet, fast_timers=fast,
+        incremental_sack=fast,
     ).start(at=0.1)
     fwd, rev = dumbbell.attach_flow("tfrc-mon", topo_rng.uniform(0.08, 0.12))
     TfrcFlow(
@@ -159,7 +171,8 @@ def _red_ecn(scale: str, fast: bool):
     tracer = Tracer(columnar=fast)
     result = build_mixed_dumbbell(
         n_tfrc=8, n_tcp=8, bandwidth_bps=15e6, queue_type="red", seed=0,
-        endpoint_fastpath=fast, tracer=tracer, sample_queue=True, ecn=True,
+        endpoint_fastpath=fast, net_fastpath=fast, tracer=tracer,
+        sample_queue=True, ecn=True,
     )
 
     def finalize() -> JsonDict:
@@ -172,12 +185,45 @@ def _red_ecn(scale: str, fast: bool):
     return result.sim, duration, finalize
 
 
+def _red_sack_recovery(scale: str, fast: bool):
+    """SACK-heavy RED recovery: all-TCP flows on an under-buffered RED
+    bottleneck.
+
+    The tight buffer keeps a large share of flows in loss recovery, so the
+    ACK stream is dominated by dupACKs carrying SACK blocks over persistent
+    multi-hole reordering -- the ``TCPSink`` workload the incremental
+    interval structure (PR 4) targets, on top of per-packet RED math at the
+    bottleneck.
+    """
+    from repro.scenarios.builders import build_mixed_dumbbell
+
+    duration = 6.0 if scale == "smoke" else 25.0
+    result = build_mixed_dumbbell(
+        n_tfrc=0, n_tcp=24, bandwidth_bps=15e6, queue_type="red",
+        buffer_packets=25, seed=0, endpoint_fastpath=fast, net_fastpath=fast,
+    )
+
+    def finalize() -> JsonDict:
+        queue = result.dumbbell.forward_link.queue
+        return {
+            "packets_forwarded": result.dumbbell.forward_link.packets_forwarded,
+            "early_drops": queue.early_drops,
+            "forced_drops": queue.forced_drops,
+            "retransmissions": sum(
+                flow.sender.retransmissions for flow in result.tcp_flows
+            ),
+        }
+
+    return result.sim, duration, finalize
+
+
 #: name -> builder(scale, fast) -> (sim, duration, finalize)
 BENCH_SCENARIOS: Dict[str, Callable] = {
     "dumbbell_steady": _dumbbell_steady,
     "fig06_grid_cell": _fig06_grid_cell,
     "onoff_churn": _onoff_churn,
     "red_ecn": _red_ecn,
+    "red_sack_recovery": _red_sack_recovery,
 }
 
 

@@ -89,6 +89,7 @@ def build_mixed_dumbbell(
     queue_scaling_bandwidth: Optional[float] = None,
     sample_queue: bool = False,
     endpoint_fastpath: bool = True,
+    net_fastpath: bool = True,
     tracer: Optional["Tracer"] = None,
     ecn: bool = False,
 ) -> MixedDumbbellResult:
@@ -101,8 +102,12 @@ def build_mixed_dumbbell(
 
     ``endpoint_fastpath`` selects the PR-2 endpoint hot path (generation
     -counter timers, fast access-segment scheduling, columnar monitors and
-    tracer storage); ``False`` pins the PR-1 legacy path.  Both produce
-    byte-identical traces (see ``tests/test_endpoint_fastpath.py``).
+    tracer storage); ``False`` pins the PR-1 legacy path.  ``net_fastpath``
+    selects the PR-4 network-layer hot path (batched link wake chains,
+    fused RED math, incremental TCP-sink SACK state); ``False`` pins the
+    per-event legacy network layer.  All flag combinations produce
+    byte-identical traces (see ``tests/test_endpoint_fastpath.py`` and
+    ``tests/test_net_fastpath.py``).
     ``ecn`` enables marking at a RED bottleneck with ECN-capable TFRC flows.
     """
     if n_tfrc < 0 or n_tcp < 0 or n_tfrc + n_tcp == 0:
@@ -122,7 +127,7 @@ def build_mixed_dumbbell(
     sim = Simulator()
     dumbbell = Dumbbell(
         sim, config, queue_rng=rng_registry.stream("red"),
-        fast_scheduling=endpoint_fastpath,
+        fast_scheduling=endpoint_fastpath, net_fastpath=net_fastpath,
     )
     if ecn:
         if queue_type != "red":
@@ -167,6 +172,7 @@ def build_mixed_dumbbell(
             variant=tcp_variant,
             on_data=flow_monitor.on_packet,
             fast_timers=endpoint_fastpath,
+            incremental_sack=net_fastpath,
             tracer=tracer,
         )
         staggered_starts.append((rng.uniform(*START_RANGE), flow.start, ()))
@@ -500,6 +506,7 @@ def mixed_dumbbell_scenario(spec: ScenarioSpec) -> JsonDict:
         ),
         queue_scaling_bandwidth=spec.topology.get("queue_scaling_bandwidth"),
         endpoint_fastpath=bool(spec.extra.get("endpoint_fastpath", True)),
+        net_fastpath=bool(spec.extra.get("net_fastpath", True)),
     )
     t0, t1 = steady_state_window(
         spec.duration, float(spec.extra.get("measure_fraction", 0.5))

@@ -232,24 +232,27 @@ class Simulator:
         processed = 0
         heap = self._heap
         heappop = heapq.heappop
+        # Hoist the per-event None checks: with no bound, +inf horizons
+        # and limits make the comparisons unconditionally false.
+        horizon = math.inf if until is None else until
+        limit = math.inf if max_events is None else max_events
         try:
             while heap and not self._stopped:
                 entry = heap[0]
-                event = entry[5]
-                if event is not None and event.cancelled:
-                    heappop(heap)
-                    continue
-                if until is not None and entry[0] > until:
+                if entry[0] > horizon:
                     break
                 heappop(heap)
+                event = entry[5]
+                if event is not None and event.cancelled:
+                    continue
                 self._now = entry[0]
                 entry[3](*entry[4])
-                self.events_processed += 1
                 processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed >= limit:
                     break
         finally:
             self._running = False
+            self.events_processed += processed
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now

@@ -159,7 +159,7 @@ class TCPSender:
         # Karn's rule: never sample from a retransmitted segment.
         if info.echo_seq in self._retransmitted:
             return
-        rtt = self.sim.now - info.echo_ts
+        rtt = self.sim._now - info.echo_ts
         if rtt > 0:
             self.rto_estimator.sample(rtt)
 
@@ -223,22 +223,23 @@ class TCPSender:
             self.snd_nxt += 1
 
     def _transmit(self, seq: int, is_retransmission: bool = False) -> None:
+        now = self.sim._now
         packet = Packet(
             flow_id=self.flow_id,
             seq=seq,
             size=self.packet_size,
             ptype=PacketType.DATA,
-            sent_at=self.sim.now,
+            sent_at=now,
         )
         if is_retransmission:
             self.retransmissions += 1
             self._retransmitted.add(seq)
         else:
-            self._send_times[seq] = self.sim.now
+            self._send_times[seq] = now
         self.packets_sent += 1
         if self.tracer is not None:
             self.tracer.record(
-                self.sim.now, "send", self.flow_id, packet.size,
+                now, "send", self.flow_id, packet.size,
                 meta={"seq": seq, "retx": is_retransmission},
             )
         if not self._retx_timer.pending:

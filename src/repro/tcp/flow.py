@@ -25,15 +25,19 @@ class TcpFlow:
         tracer: Optional[Tracer] = None,
         on_data: Optional[Callable[[float, Packet], None]] = None,
         delayed_ack: bool = False,
+        incremental_sack: bool = True,
         **sender_kwargs,
     ) -> None:
         self.sim = sim
         self.flow_id = flow_id
+        # Ports' ``send`` returns a bool (accepted?) that the sender and
+        # sink ignore; the bound methods are handed over directly so each
+        # packet skips a lambda frame.
         self.sender = make_tcp_sender(
             variant,
             sim,
             flow_id,
-            send_packet=lambda p: forward_port.send(p) and None,
+            send_packet=forward_port.send,
             packet_size=packet_size,
             tracer=tracer,
             **sender_kwargs,
@@ -41,9 +45,10 @@ class TcpFlow:
         self.sink = TCPSink(
             sim,
             flow_id,
-            send_ack=lambda p: reverse_port.send(p) and None,
+            send_ack=reverse_port.send,
             delayed_ack=delayed_ack,
             on_data=on_data,
+            incremental_sack=incremental_sack,
         )
         forward_port.connect(self.sink.receive)
         reverse_port.connect(self.sender.on_ack)
