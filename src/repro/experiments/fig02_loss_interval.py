@@ -29,6 +29,7 @@ from repro.scenarios.builders import (
     run_single_tfrc_on_lossy_path,
 )
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 
 
@@ -98,6 +99,8 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig02Result:
     """Run the Figure 2 scenario and sample the estimator state."""
     base = ScenarioSpec(
@@ -115,7 +118,8 @@ def run(
         extra={"probe_interval": float(probe_interval)},
     )
     data = run_single_cell(
-        base, parallel=parallel, cache_dir=cache_dir, progress=progress
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress,
+        executor=executor, queue_dir=queue_dir,
     )
     return Fig02Result(
         times=list(data["times"]),

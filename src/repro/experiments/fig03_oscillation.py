@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.cov import coefficient_of_variation
 from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 from repro.analysis.timeseries import arrivals_to_rate_series
 from repro.core import TfrcFlow
@@ -113,6 +114,8 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
     **kwargs,
 ) -> Fig03Result:
     """Sweep buffer sizes; ``interpacket_adjustment=True`` gives Figure 4.
@@ -141,6 +144,8 @@ def run(
         parallel=parallel,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
     ).run()
     result = Fig03Result(buffer_sizes=list(buffer_sizes))
     for buffer_packets, cell in zip(buffer_sizes, sweep.cells):

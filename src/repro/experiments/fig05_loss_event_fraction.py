@@ -26,6 +26,7 @@ from repro.analysis.bernoulli import (
 )
 from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 
 DEFAULT_P_LOSS = tuple(np.linspace(0.005, 0.25, 25))
@@ -105,6 +106,8 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig05Result:
     """Compute the Figure 5 curves as a sweep over rate multipliers.
 
@@ -131,6 +134,8 @@ def run(
         parallel=parallel,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
         seed_mode="derived",
     ).run()
     result = Fig05Result(p_loss_values=[float(p) for p in p_loss_values])

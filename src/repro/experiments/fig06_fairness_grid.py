@@ -25,6 +25,7 @@ from repro.scenarios import (
     steady_state_window,
 )
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 
 
@@ -129,6 +130,8 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig06Result:
     """The full fairness grid as a sweep.  Reduce the sweeps for quicker
     runs; ``parallel=N`` fans the cells out over N worker processes and
@@ -145,7 +148,8 @@ def run(
         "flows.total": [int(n) for n in flow_counts],
     }
     sweep = SweepRunner(
-        base, grid, parallel=parallel, cache_dir=cache_dir, progress=progress
+        base, grid, parallel=parallel, cache_dir=cache_dir, progress=progress,
+        executor=executor, queue_dir=queue_dir,
     ).run()
     result = Fig06Result()
     for cell in sweep.cells:

@@ -30,6 +30,7 @@ from repro.scenarios import (
     steady_state_window,
 )
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 
 
@@ -133,13 +134,16 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig08Result:
     """Run the Figure 8 scenario for one queue type."""
     base = _base_spec(
         total_flows, link_bps, duration, tau, traced_flows, seed, queue_type
     )
     data = run_single_cell(
-        base, parallel=parallel, cache_dir=cache_dir, progress=progress
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress,
+        executor=executor, queue_dir=queue_dir,
     )
     return _result_from_cell(data)
 
@@ -158,6 +162,8 @@ def run_queues(
     parallel = kwargs.pop("parallel", 1)
     cache_dir = kwargs.pop("cache_dir", None)
     progress = kwargs.pop("progress", None)
+    executor = kwargs.pop("executor", None)
+    queue_dir = kwargs.pop("queue_dir", None)
     base = _base_spec(
         total_flows=kwargs.pop("total_flows", 32),
         link_bps=kwargs.pop("link_bps", 15e6),
@@ -175,6 +181,8 @@ def run_queues(
         parallel=parallel,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
     ).run()
     results: Dict[str, Fig08Result] = {}
     for queue_type, cell in zip(queue_types, sweep.cells):

@@ -28,6 +28,7 @@ from repro.scenarios import (
     run_mixed_dumbbell,
 )
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 
 PAPER_TIMESCALES = (0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
@@ -121,6 +122,8 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig09Result:
     """Run the replicated steady-state scenario as a sweep over seeds.
 
@@ -145,6 +148,8 @@ def run(
         parallel=parallel,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
     ).run()
     samples: Dict[str, Dict[float, List[float]]] = {
         key: {tau: [] for tau in timescales}

@@ -19,6 +19,7 @@ import numpy as np
 from repro.analysis.cov import coefficient_of_variation
 from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 from repro.analysis.equivalence import equivalence_ratio
 from repro.analysis.timeseries import arrivals_to_rate_series
@@ -160,6 +161,8 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig11Result:
     """Sweep the number of ON/OFF sources (paper: 5000 s; default reduced).
 
@@ -182,6 +185,8 @@ def run(
         parallel=parallel,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
     ).run()
     result = Fig11Result()
     for cell in sweep.cells:

@@ -26,6 +26,7 @@ from repro.net import Dumbbell, DumbbellConfig
 from repro.net.monitor import FlowMonitor, LinkMonitor
 from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 from repro.sim import Simulator
 from repro.sim.rng import RngRegistry
@@ -191,6 +192,8 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig14Result:
     """Both variants of the Figure 14 scenario as a two-cell sweep."""
     base = ScenarioSpec(
@@ -212,6 +215,8 @@ def run(
         parallel=parallel,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
     ).run()
     by_protocol = {}
     for cell in sweep.cells:

@@ -29,6 +29,7 @@ from repro.experiments.internet import PATHS, PathProfile
 from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
 from repro.scenarios.builders import run_tfrc_probe_path
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 
 PAPER_HISTORY_SIZES = (2, 4, 8, 16, 32)
@@ -82,6 +83,8 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig18Result:
     """Score both weighting schemes on traces from several paths.
 
@@ -108,6 +111,8 @@ def run(
         parallel=parallel,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
     ).run()
     traces = []
     for name, cell in zip(paths, sweep.cells):

@@ -33,6 +33,7 @@ from repro.scenarios.builders import (
     run_single_tfrc_on_lossy_path,
 )
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 
 
@@ -126,6 +127,8 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig19Result:
     """Run the Appendix A.1 scenario, sampling once per RTT."""
     base = ScenarioSpec(
@@ -145,7 +148,8 @@ def run(
         },
     )
     data = run_single_cell(
-        base, parallel=parallel, cache_dir=cache_dir, progress=progress
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress,
+        executor=executor, queue_dir=queue_dir,
     )
     return Fig19Result(
         times=list(data["times"]),

@@ -31,6 +31,7 @@ from repro.scenarios.builders import (
     run_single_tfrc_on_lossy_path,
 )
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 
 
@@ -120,11 +121,14 @@ def run(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> HalvingResult:
     """Run the Figure 20 scenario."""
     base = _halving_spec(initial_period, congested_period, onset, duration, rtt)
     data = run_single_cell(
-        base, parallel=parallel, cache_dir=cache_dir, progress=progress
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress,
+        executor=executor, queue_dir=queue_dir,
     )
     return HalvingResult(
         times=list(data["times"]),
@@ -156,6 +160,8 @@ def run_sweep(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Fig21Result:
     """Figure 21: sweep the pre-congestion drop rate.
 
@@ -176,6 +182,8 @@ def run_sweep(
         parallel=parallel,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
     ).run()
     result = Fig21Result()
     for period, cell in zip(initial_periods, sweep.cells):

@@ -48,6 +48,7 @@ from repro.scenarios import (
 )
 from repro.scenarios.builders import PathProfile, run_internet_path
 from repro.scenarios.spec import JsonDict
+from repro.scenarios.executors import ExecutorArg
 from repro.scenarios.sweep import ProgressFn
 
 __all__ = [
@@ -246,6 +247,8 @@ def run_path(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> InternetRunResult:
     """Run n_tcp TCP flows + 1 TFRC flow + cross traffic over one path."""
     base = _base_spec(
@@ -253,7 +256,8 @@ def run_path(
         interpacket_adjustment, seed,
     )
     data = run_single_cell(
-        base, parallel=parallel, cache_dir=cache_dir, progress=progress
+        base, parallel=parallel, cache_dir=cache_dir, progress=progress,
+        executor=executor, queue_dir=queue_dir,
     )
     return _result_from_cell(data)
 
@@ -270,6 +274,8 @@ def run_all(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> Dict[str, InternetRunResult]:
     """Figures 16/17: every named path, as one sweep over the profiles."""
     if not paths:
@@ -284,6 +290,8 @@ def run_all(
         parallel=parallel,
         cache_dir=cache_dir,
         progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
     ).run()
     results: Dict[str, InternetRunResult] = {}
     for name, cell in zip(paths, sweep.cells):

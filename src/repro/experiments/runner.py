@@ -291,6 +291,8 @@ EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
 
 
 def main(argv=None) -> int:
+    from repro.scenarios.executors import EXECUTOR_NAMES
+
     parser = argparse.ArgumentParser(
         description="Reproduce a figure from the TFRC paper."
     )
@@ -308,7 +310,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--parallel", type=int, default=1, metavar="N",
-        help="run sweep cells on N worker processes (every figure)",
+        help="run sweep cells on N worker processes (every figure); with "
+        "--executor queue, N locally spawned tfrc-sweep-worker processes "
+        "(0 = rely on externally started workers only)",
     )
     parser.add_argument(
         "--cache", nargs="?", const=".tfrc-sweep-cache", default=None,
@@ -316,11 +320,28 @@ def main(argv=None) -> int:
         help="cache sweep cell results on disk (default dir: "
         ".tfrc-sweep-cache); cached cells are not re-simulated",
     )
+    parser.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=None,
+        help="sweep execution backend (default: serial, or a process pool "
+        "when --parallel > 1); 'queue' coordinates tfrc-sweep-worker "
+        "processes -- including on other hosts -- through --queue-dir",
+    )
+    parser.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="shared queue directory for --executor queue (results default "
+        "to DIR/results unless --cache is given)",
+    )
     args = parser.parse_args(argv)
-    if args.parallel < 1:
-        parser.error("--parallel must be >= 1")
+    if args.parallel < (0 if args.executor == "queue" else 1):
+        parser.error(
+            "--parallel must be >= 1 (>= 0 with --executor queue)"
+        )
+    if args.executor == "queue" and args.queue_dir is None:
+        parser.error("--executor queue requires --queue-dir")
+    if args.queue_dir is not None and args.executor != "queue":
+        parser.error("--queue-dir only applies to --executor queue")
     sweep_kwargs = {}
-    if args.parallel != 1 or args.cache is not None:
+    if args.parallel != 1 or args.cache is not None or args.executor:
         from repro.scenarios import print_progress
 
         sweep_kwargs = {
@@ -328,6 +349,9 @@ def main(argv=None) -> int:
             "cache_dir": args.cache,
             "progress": print_progress(),
         }
+        if args.executor:
+            sweep_kwargs["executor"] = args.executor
+            sweep_kwargs["queue_dir"] = args.queue_dir
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         EXPERIMENTS[name](args.quick, args.plot, **sweep_kwargs)

@@ -334,10 +334,95 @@ def run_suite(
     return out
 
 
-def build_report(
-    suites: Dict[str, JsonDict], repeats: int, isolate: bool
+def run_executor_bench(
+    scale: str = "smoke",
+    workers: int = 2,
+    verbose: bool = False,
 ) -> JsonDict:
-    return {
+    """Measure sweep-executor overhead: serial vs pool vs file queue.
+
+    Runs the same fixed ``mixed_dumbbell`` seed sweep through every
+    executor backend (the queue executor with ``workers`` locally spawned
+    ``tfrc-sweep-worker`` processes, so the number includes worker spawn,
+    file-lease coordination, and cache-mediated result delivery).  Reported
+    per backend: wall seconds and cells/sec, plus the queue executor's
+    per-cell overhead over the process pool -- the price of multi-host
+    coordination when run purely locally.  Results are *not* part of the
+    regression gate (wall times here are dominated by worker startup, which
+    is machine-dependent and not a fast-vs-legacy ratio).
+    """
+    import shutil
+    import tempfile
+
+    from repro.scenarios import ScenarioSpec, SweepRunner
+
+    cells = 4 if scale == "smoke" else 8
+    duration = 2.0 if scale == "smoke" else 6.0
+    base = ScenarioSpec(
+        "mixed_dumbbell",
+        topology={"bandwidth_bps": 1.5e6},
+        flows={"n_tfrc": 1, "n_tcp": 1},
+        queue={"type": "red"},
+        duration=duration,
+    )
+    grid = {"seed": list(range(cells))}
+    out: JsonDict = {"cells": cells, "sim_seconds": duration, "workers": workers}
+    reference = None
+    for name in ("serial", "pool", "queue"):
+        if verbose:
+            print(
+                f"[tfrc-bench] executors/{scale}/{name} ...",
+                file=sys.stderr, flush=True,
+            )
+        scratch = tempfile.mkdtemp(prefix="tfrc-exec-bench-")
+        try:
+            kwargs: JsonDict = {"executor": name}
+            if name == "queue":
+                kwargs["queue_dir"] = os.path.join(scratch, "queue")
+                kwargs["cache_dir"] = os.path.join(scratch, "cache")
+                kwargs["parallel"] = workers
+            elif name == "pool":
+                kwargs["parallel"] = workers
+            started = time.perf_counter()
+            sweep = SweepRunner(base, grid, **kwargs).run()
+            wall = time.perf_counter() - started
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        assert len(sweep.cells) == cells
+        results = [cell.result for cell in sweep.cells]
+        if reference is None:
+            reference = results
+        elif results != reference:  # pragma: no cover - determinism guard
+            raise AssertionError(
+                f"executor {name!r} produced different results"
+            )
+        out[name] = {
+            "wall_seconds": wall,
+            "cells_per_sec": cells / wall,
+        }
+    out["queue_overhead_vs_pool_seconds_per_cell"] = (
+        out["queue"]["wall_seconds"] - out["pool"]["wall_seconds"]
+    ) / cells
+    if verbose:
+        print(
+            f"[tfrc-bench] executors/{scale}: serial "
+            f"{out['serial']['wall_seconds']:.2f}s, pool "
+            f"{out['pool']['wall_seconds']:.2f}s, queue "
+            f"{out['queue']['wall_seconds']:.2f}s "
+            f"({out['queue_overhead_vs_pool_seconds_per_cell'] * 1e3:.0f} "
+            f"ms/cell queue overhead vs pool)",
+            file=sys.stderr, flush=True,
+        )
+    return out
+
+
+def build_report(
+    suites: Dict[str, JsonDict],
+    repeats: int,
+    isolate: bool,
+    executors: Optional[Dict[str, JsonDict]] = None,
+) -> JsonDict:
+    report = {
         "schema": "tfrc-bench/v1",
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -345,6 +430,9 @@ def build_report(
         "isolate": isolate,
         "suites": suites,
     }
+    if executors:
+        report["executors"] = executors
+    return report
 
 
 # ------------------------------------------------- PR-numbered trajectory
@@ -456,6 +544,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "high-water mark)",
     )
     parser.add_argument(
+        "--executors", action="store_true",
+        help="also benchmark the sweep executors (serial vs pool vs file "
+        "queue with local workers) and report the queue executor's "
+        "per-cell coordination overhead; not part of the regression gate",
+    )
+    parser.add_argument(
         "--output", metavar="PATH", default=None,
         help="write the benchmark report JSON here; the literal 'next' "
         "resolves to the next PR-numbered trajectory file "
@@ -494,7 +588,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             isolate=args.isolate,
             verbose=True,
         )
-    report = build_report(suites, args.repeats, args.isolate)
+    executors: Optional[Dict[str, JsonDict]] = None
+    if args.executors:
+        executors = {
+            scale: run_executor_bench(scale=scale, verbose=True)
+            for scale in scales
+        }
+    report = build_report(suites, args.repeats, args.isolate, executors)
 
     print(json.dumps(report, indent=2, sort_keys=True))
     if args.output:

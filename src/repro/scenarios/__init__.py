@@ -11,10 +11,15 @@ scenarios:
   builders shared by every figure module, plus registered declarative
   entry points (``mixed_dumbbell``, ``tfrc_lossy_path``).
 * :mod:`~repro.scenarios.sweep` -- :class:`~repro.scenarios.sweep.SweepRunner`:
-  parameter-grid expansion, deterministic per-cell seeding, process-pool
-  parallelism, progress reporting.
+  parameter-grid expansion, deterministic per-cell seeding, progress
+  reporting.
+* :mod:`~repro.scenarios.executors` -- the pluggable execution backends
+  behind ``SweepRunner.run``: serial, local process pool, and the
+  multi-host file-queue coordinator (atomic-rename leases, heartbeats,
+  dead-worker reclaim) drained by ``tfrc-sweep-worker`` processes
+  (:mod:`~repro.scenarios.worker`).
 * :mod:`~repro.scenarios.cache` -- the on-disk JSON result cache keyed by
-  spec hash.
+  spec hash (also the result transport for the file-queue executor).
 """
 
 from repro.scenarios.builders import (
@@ -33,6 +38,19 @@ from repro.scenarios.builders import (
     steady_state_window,
 )
 from repro.scenarios.cache import ResultCache
+from repro.scenarios.executors import (
+    EXECUTOR_NAMES,
+    CellCompletion,
+    ExecutorArg,
+    FileQueue,
+    FileQueueExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    SweepCellError,
+    SweepExecutor,
+    SweepPlan,
+    resolve_executor,
+)
 from repro.scenarios.spec import (
     ScenarioSpec,
     get_scenario,
@@ -49,17 +67,28 @@ from repro.scenarios.sweep import (
 )
 
 __all__ = [
+    "EXECUTOR_NAMES",
+    "CellCompletion",
+    "ExecutorArg",
+    "FileQueue",
+    "FileQueueExecutor",
     "InternetPathRun",
     "MixedDumbbellResult",
     "PathProfile",
+    "PoolExecutor",
     "ResultCache",
     "ScenarioSpec",
+    "SerialExecutor",
     "SingleTfrcResult",
     "SweepCell",
+    "SweepCellError",
+    "SweepExecutor",
+    "SweepPlan",
     "SweepResult",
     "SweepRunner",
     "build_mixed_dumbbell",
     "get_scenario",
+    "resolve_executor",
     "list_scenarios",
     "loss_model_from_spec",
     "lossless_phase",

@@ -10,10 +10,28 @@ from __future__ import annotations
 
 import json
 import os
+import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.scenarios.spec import JsonDict, ScenarioSpec
+
+
+def atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Write strict JSON (``allow_nan=False``) via tmp file + rename.
+
+    The write is never observable half-done, and a failure (bad value,
+    full disk) never leaves the tmp file behind.  Shared by the result
+    cache and the file-queue executor protocol.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}-{uuid.uuid4().hex[:8]}")
+    try:
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, allow_nan=False)
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 class ResultCache:
@@ -38,13 +56,23 @@ class ResultCache:
         return result if isinstance(result, dict) else None
 
     def put(self, spec: ScenarioSpec, result: JsonDict) -> Path:
-        """Store ``result`` for ``spec``; returns the entry's path."""
+        """Store ``result`` for ``spec``; returns the entry's path.
+
+        Entries are strict JSON (``allow_nan=False``, matching
+        :meth:`~repro.scenarios.spec.ScenarioSpec.canonical_json`): a NaN or
+        Infinity metric raises :class:`ValueError` instead of writing an
+        entry other strict parsers would reject.  A failed write (bad
+        value, full disk) never leaves the tmp file behind.
+        """
         path = self._path(spec)
         payload = {"spec": spec.to_dict(), "result": result}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-        tmp.replace(path)
+        try:
+            atomic_write_json(path, payload)
+        except ValueError as exc:
+            raise ValueError(
+                f"result for {spec.scenario} ({spec.spec_hash()}) is not "
+                f"strict JSON -- NaN/Infinity values cannot be cached: {exc}"
+            ) from exc
         return path
 
     def entries(self) -> List[Dict[str, Any]]:

@@ -1,0 +1,812 @@
+"""Pluggable sweep execution backends (serial / process pool / file queue).
+
+:class:`~repro.scenarios.sweep.SweepRunner` expands a grid into cells and
+hands the cache-missing ones to a :class:`SweepExecutor`, which yields
+:class:`CellCompletion` records as cells finish (in completion order; the
+runner reassembles expansion order).  Three backends cover one host to many:
+
+* :class:`SerialExecutor` -- in-process, one cell at a time.
+* :class:`PoolExecutor` -- a ``concurrent.futures.ProcessPoolExecutor``
+  fan-out on the local host.
+* :class:`FileQueueExecutor` -- coordinates any number of worker processes
+  (``tfrc-sweep-worker``), locally spawned and/or started by hand on other
+  hosts, through a shared **queue directory**.  Coordination is plain
+  files: claimable cell payloads in ``tasks/``, atomic-rename leases in
+  ``claims/`` (the rename is the mutual exclusion; the claim file's mtime
+  is the worker's heartbeat), completion markers in ``done/``, and failure
+  records in ``failures/``.  Results land in the spec-hash
+  :class:`~repro.scenarios.cache.ResultCache`, so the coordinator assembles
+  the sweep purely from cache and a crashed run resumes without
+  recomputing finished cells.  Expired leases (dead workers) are reclaimed
+  by the coordinator; each cell has a retry budget (``max_attempts``)
+  spanning worker errors and lease expiries.
+
+Every cell's spec -- including its seed -- is fixed at grid-expansion time,
+so all three backends produce byte-identical results for the same sweep
+(pinned by ``tests/test_executors.py``).
+
+A cell failure surfaces as :class:`SweepCellError` naming the cell and its
+overrides; the runner attaches the partial :class:`SweepResult` (cached and
+already-finished cells) to the exception before re-raising.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.scenarios.cache import ResultCache, atomic_write_json
+from repro.scenarios.spec import JsonDict, ScenarioSpec, run_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.scenarios.sweep import SweepCell, SweepResult
+
+
+class SweepCellError(RuntimeError):
+    """A sweep cell failed (execution error or exhausted retry budget).
+
+    ``cell``/``overrides`` name the failing grid point; ``partial`` is the
+    :class:`~repro.scenarios.sweep.SweepResult` holding every cell that did
+    finish (cached hits included), attached by the runner so a long sweep's
+    completed work survives the exception.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cell: Optional["SweepCell"] = None,
+        overrides: Optional[Dict[str, Any]] = None,
+        partial: Optional["SweepResult"] = None,
+    ) -> None:
+        super().__init__(message)
+        self.cell = cell
+        self.overrides = dict(overrides or {})
+        self.partial = partial
+
+
+@dataclass
+class SweepPlan:
+    """What an executor needs to run the cache-missing cells of one sweep."""
+
+    cells: Sequence["SweepCell"]
+    module_name: str
+    cache: Optional[ResultCache] = None
+
+
+@dataclass
+class CellCompletion:
+    """One finished cell, yielded by executors in completion order."""
+
+    cell: "SweepCell"
+    result: JsonDict
+    elapsed_seconds: float = 0.0
+    worker: str = ""
+    #: True when the result is already persisted in the sweep's cache
+    #: (file-queue workers write the cache themselves).
+    already_cached: bool = False
+
+
+class SweepExecutor:
+    """Base class: executes a :class:`SweepPlan`, yielding completions."""
+
+    name = "abstract"
+
+    def run_cells(self, plan: SweepPlan) -> Iterator[CellCompletion]:
+        raise NotImplementedError
+
+
+def _execute_remote(
+    module_name: str, spec_dict: Dict[str, Any]
+) -> Tuple[JsonDict, float]:
+    """Worker-side cell execution (module-level, hence picklable).
+
+    Importing the scenario's defining module re-populates the registry in
+    spawn-started workers; under fork it is a no-op lookup.
+    """
+    import importlib
+
+    importlib.import_module(module_name)
+    spec = ScenarioSpec.from_dict(spec_dict)
+    started = time.perf_counter()
+    result = run_scenario(spec)
+    return result, time.perf_counter() - started
+
+
+class SerialExecutor(SweepExecutor):
+    """Run every cell in-process, one at a time."""
+
+    name = "serial"
+
+    def run_cells(self, plan: SweepPlan) -> Iterator[CellCompletion]:
+        for cell in plan.cells:
+            started = time.perf_counter()
+            try:
+                result = run_scenario(cell.spec)
+            except Exception as exc:
+                raise SweepCellError(
+                    f"sweep cell {cell.describe()} failed: {exc}",
+                    cell=cell,
+                    overrides=cell.overrides,
+                ) from exc
+            yield CellCompletion(
+                cell=cell,
+                result=result,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+
+class PoolExecutor(SweepExecutor):
+    """Fan cells out over a local ``ProcessPoolExecutor``.
+
+    On a worker exception the remaining futures are cancelled and the
+    failure is re-raised as :class:`SweepCellError` naming the cell, with
+    the worker's exception chained as ``__cause__``.
+    """
+
+    name = "pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run_cells(self, plan: SweepPlan) -> Iterator[CellCompletion]:
+        limit = self.max_workers or len(plan.cells)
+        workers = max(1, min(limit, len(plan.cells)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_remote, plan.module_name, cell.spec.to_dict()
+                ): cell
+                for cell in plan.cells
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    cell = futures[future]
+                    try:
+                        result, elapsed = future.result()
+                    except Exception as exc:
+                        for pending in outstanding:
+                            pending.cancel()
+                        raise SweepCellError(
+                            f"sweep cell {cell.describe()} failed in a "
+                            f"pool worker: {exc}",
+                            cell=cell,
+                            overrides=cell.overrides,
+                        ) from exc
+                    yield CellCompletion(
+                        cell=cell, result=result, elapsed_seconds=elapsed
+                    )
+
+
+# --------------------------------------------------------- file-queue layer
+
+
+#: tmp-file + rename strict-JSON write, shared with the result cache.
+_atomic_write_json = atomic_write_json
+
+
+def _read_json(path: Path) -> Optional[JsonDict]:
+    """Best-effort JSON read: None on missing/corrupt/partial files."""
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class FileQueue:
+    """The shared-directory cell queue behind :class:`FileQueueExecutor`.
+
+    Layout under ``root`` (which may live on a shared filesystem)::
+
+        tasks/<key>.json      claimable cell payloads
+        claims/<key>.json     leased cells (atomic rename from tasks/;
+                              mtime doubles as the worker heartbeat)
+        done/<key>.json       completion markers (elapsed, worker, attempts)
+        failures/<key>.<nonce>.json   one record per failed attempt
+        results/              default ResultCache location (coordinator may
+                              point the cache elsewhere)
+
+    A task payload carries everything a worker needs: the cell ``key``
+    (``<scenario>-<spec_hash>``), the scenario's defining ``module``, the
+    ``spec`` dict, the ``cache_dir`` results should land in (relative paths
+    are resolved against ``root`` so multi-host mounts need not agree on
+    absolute paths), the ``attempts`` so far, and the ``max_attempts``
+    budget.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        self.tasks = self.root / "tasks"
+        self.claims = self.root / "claims"
+        self.done = self.root / "done"
+        self.failures = self.root / "failures"
+
+    def ensure(self) -> "FileQueue":
+        for directory in (self.tasks, self.claims, self.done, self.failures):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # ------------------------------------------------------------- paths
+
+    def task_path(self, key: str) -> Path:
+        return self.tasks / f"{key}.json"
+
+    def claim_path(self, key: str) -> Path:
+        return self.claims / f"{key}.json"
+
+    def done_path(self, key: str) -> Path:
+        return self.done / f"{key}.json"
+
+    # ----------------------------------------------------------- enqueue
+
+    def enqueue(self, payload: JsonDict) -> Path:
+        """(Re-)publish a claimable task; atomic, last write wins."""
+        path = self.task_path(payload["key"])
+        _atomic_write_json(path, payload)
+        return path
+
+    def resolve_cache_dir(self, cache_dir: str) -> Path:
+        """Task cache dirs may be relative: resolve against the queue root."""
+        path = Path(cache_dir)
+        return path if path.is_absolute() else self.root / path
+
+    def encode_cache_dir(self, cache_root: "str | os.PathLike[str]") -> str:
+        """Store cache paths under the queue root relatively (multi-host)."""
+        cache_root = Path(cache_root).resolve()
+        try:
+            return str(cache_root.relative_to(self.root.resolve()))
+        except ValueError:
+            return str(cache_root)
+
+    # ------------------------------------------------------------- claim
+
+    def claim_next(self, worker_id: str) -> Optional[Tuple[Path, JsonDict]]:
+        """Atomically lease the first claimable task, or None if empty.
+
+        The ``tasks/ -> claims/`` rename is the mutual exclusion: exactly
+        one contender's rename succeeds; losers skip to the next task.
+        """
+        for task in sorted(self.tasks.glob("*.json")):
+            claim = self.claims / task.name
+            try:
+                task.rename(claim)
+            except OSError:
+                continue  # another worker won the rename
+            payload = _read_json(claim)
+            if payload is None or "key" not in payload:
+                claim.unlink(missing_ok=True)  # corrupt task: drop it
+                continue
+            # Stamp the lease with its holder so cleanup can verify
+            # ownership: a worker that stalls past the lease timeout,
+            # loses the claim to reclaim, and later resumes must not
+            # unlink the *replacement* worker's lease on this same path.
+            payload = dict(payload)
+            payload["worker"] = worker_id
+            _atomic_write_json(claim, payload)
+            return claim, payload
+        return None
+
+    def release_claim(self, claim: Path, worker_id: str) -> None:
+        """Unlink a claim only if it is still this worker's lease."""
+        payload = _read_json(claim)
+        if payload is None or payload.get("worker") in (None, worker_id):
+            claim.unlink(missing_ok=True)
+
+    @staticmethod
+    def heartbeat(claim: Path) -> None:
+        """Refresh a lease; a vanished claim (reclaimed) is not an error."""
+        try:
+            os.utime(claim)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------- completions
+
+    def complete(
+        self,
+        key: str,
+        *,
+        worker: str,
+        elapsed_seconds: float,
+        attempts: int,
+        cached: bool = False,
+    ) -> None:
+        _atomic_write_json(
+            self.done_path(key),
+            {
+                "key": key,
+                "worker": worker,
+                "elapsed_seconds": elapsed_seconds,
+                "attempts": attempts,
+                "cached": cached,
+            },
+        )
+
+    def read_done(self, key: str) -> Optional[JsonDict]:
+        return _read_json(self.done_path(key))
+
+    def done_keys(self) -> "set[str]":
+        """Keys with completion markers, in one directory scan."""
+        try:
+            names = os.listdir(self.done)
+        except OSError:
+            return set()
+        return {
+            name[: -len(".json")] for name in names if name.endswith(".json")
+        }
+
+    # ---------------------------------------------------------- failures
+
+    def record_failure(
+        self, key: str, *, worker: str, kind: str, error: str, attempts: int
+    ) -> None:
+        nonce = f"{time.time_ns():x}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        _atomic_write_json(
+            self.failures / f"{key}.{nonce}.json",
+            {
+                "key": key,
+                "worker": worker,
+                "kind": kind,
+                "error": error,
+                "attempts": attempts,
+            },
+        )
+
+    def failure_count(self, key: str) -> int:
+        return sum(1 for _ in self.failures.glob(f"{key}.*.json"))
+
+    def failure_counts(self) -> Dict[str, int]:
+        """Failure-record counts for every key, in one directory scan.
+
+        Record names are ``<key>.<nonce>.json`` with a dot-free nonce, so
+        stripping the last two dot-separated components recovers the key.
+        """
+        counts: Dict[str, int] = {}
+        try:
+            names = os.listdir(self.failures)
+        except OSError:
+            return counts
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            key = name[: -len(".json")].rsplit(".", 1)[0]
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def clear_failures(self, key: str) -> None:
+        """Forget a cell's failure history (fresh enqueue = fresh budget)."""
+        for path in self.failures.glob(f"{key}.*.json"):
+            path.unlink(missing_ok=True)
+
+    def read_failures(self, key: str) -> List[JsonDict]:
+        records = []
+        for path in sorted(self.failures.glob(f"{key}.*.json")):
+            payload = _read_json(path)
+            if payload is not None:
+                records.append(payload)
+        return records
+
+
+class FileQueueExecutor(SweepExecutor):
+    """Coordinate sweep cells across worker processes via a queue directory.
+
+    The coordinator enqueues the pending cells, optionally spawns
+    ``local_workers`` ``tfrc-sweep-worker`` subprocesses, and then only
+    watches the queue: completions are read from ``done/`` markers plus the
+    result cache, stale leases (claim mtime older than ``lease_timeout``)
+    are reclaimed and requeued, and a cell whose failure count reaches
+    ``max_attempts`` aborts the sweep with :class:`SweepCellError`.  Any
+    externally started workers -- other terminals, other hosts sharing the
+    directory -- drain the same queue concurrently.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue_dir: "str | os.PathLike[str]",
+        *,
+        local_workers: int = 0,
+        lease_timeout: float = 60.0,
+        poll_interval: float = 0.1,
+        max_attempts: int = 3,
+        stall_warning: float = 30.0,
+    ) -> None:
+        if local_workers < 0:
+            raise ValueError("local_workers must be >= 0")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be > 0")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.queue_dir = Path(queue_dir)
+        self.local_workers = local_workers
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.max_attempts = max_attempts
+        self.stall_warning = stall_warning
+
+    # ----------------------------------------------------- local workers
+
+    def _spawn_local_workers(self) -> List["subprocess.Popen[bytes]"]:
+        """Start local drain processes (same protocol as remote workers).
+
+        ``sys.path`` is propagated via ``PYTHONPATH`` so scenarios defined
+        in modules outside installed packages (tests, ad-hoc scripts)
+        import cleanly in the children.
+        """
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        heartbeat = max(0.05, min(self.lease_timeout / 4.0, 5.0))
+        procs = []
+        for index in range(self.local_workers):
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.scenarios.worker",
+                        str(self.queue_dir),
+                        "--worker-id",
+                        f"local-{os.getpid()}-{index}",
+                        "--poll-interval",
+                        str(max(0.02, self.poll_interval / 2.0)),
+                        "--heartbeat",
+                        str(heartbeat),
+                    ],
+                    env=env,
+                )
+            )
+        return procs
+
+    @staticmethod
+    def _stop_workers(procs: List["subprocess.Popen[bytes]"]) -> None:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                proc.kill()
+                proc.wait()
+
+    # ----------------------------------------------------------- helpers
+
+    def _payload(self, cell: "SweepCell", cache_dir: str, attempts: int) -> JsonDict:
+        return {
+            "key": _cell_key(cell),
+            "module": self._module_name,
+            "spec": cell.spec.to_dict(),
+            "cache_dir": cache_dir,
+            "attempts": attempts,
+            "max_attempts": self.max_attempts,
+        }
+
+    def _reclaim_expired(
+        self,
+        fq: FileQueue,
+        remaining: Dict[str, List["SweepCell"]],
+        cache_dir: str,
+    ) -> None:
+        """Requeue cells whose lease went stale (worker died mid-cell)."""
+        now = time.time()
+        for key, cells in remaining.items():
+            claim = fq.claim_path(key)
+            try:
+                age = now - claim.stat().st_mtime
+            except OSError:
+                continue  # no active claim
+            if age <= self.lease_timeout:
+                continue
+            # The failure-record count -- not the (possibly stale) claim
+            # payload -- is the budget authority: a claim left over from a
+            # previous run may carry spent `attempts` that would otherwise
+            # stop the requeue here while the record count stays below the
+            # budget, stranding the cell.
+            payload = _read_json(claim)
+            attempts = fq.failure_count(key) + 1
+            fq.record_failure(
+                key,
+                worker=(payload or {}).get("worker", "unknown"),
+                kind="lease_expired",
+                error=f"lease expired after {age:.1f}s "
+                f"(timeout {self.lease_timeout:.1f}s); reclaiming",
+                attempts=attempts,
+            )
+            # Drop the stale lease BEFORE republishing the task, so a
+            # worker claiming the new task cannot have its fresh claim
+            # (renamed onto this same path) deleted from under it.
+            claim.unlink(missing_ok=True)
+            if attempts < self.max_attempts:
+                fq.enqueue(self._payload(cells[0], cache_dir, attempts))
+
+    # --------------------------------------------------------- execution
+
+    def run_cells(self, plan: SweepPlan) -> Iterator[CellCompletion]:
+        if plan.cache is None:
+            raise ValueError(
+                "the queue executor needs a result cache (pass cache_dir; "
+                "workers deliver results through it)"
+            )
+        cache = plan.cache
+        self._module_name = plan.module_name
+        fq = FileQueue(self.queue_dir).ensure()
+        cache_dir = fq.encode_cache_dir(cache.root)
+
+        remaining: Dict[str, List["SweepCell"]] = {}
+        for cell in plan.cells:
+            remaining.setdefault(_cell_key(cell), []).append(cell)
+
+        for key, cells in remaining.items():
+            # A done marker without a cached result (interrupted worker,
+            # pruned cache) is stale: clear it so the cell re-runs.
+            if fq.done_path(key).exists() and cache.get(cells[0].spec) is None:
+                fq.done_path(key).unlink(missing_ok=True)
+            if fq.done_path(key).exists():
+                continue  # finished: the poll loop collects it right away
+            # Every coordinator run grants every unfinished cell a fresh
+            # retry budget: failure records left by an earlier aborted run
+            # must not poison this one, and the worker-side requeue
+            # decision (driven by the payload's `attempts`) must agree
+            # with the coordinator's record count -- leftover state with
+            # spent attempts but cleared records (or vice versa) can
+            # otherwise strand a cell forever.
+            fq.clear_failures(key)
+            if fq.claim_path(key).exists():
+                # A worker (possibly from a previous run) may still be on
+                # it; completion or lease expiry will resolve the claim.
+                continue
+            leftover = _read_json(fq.task_path(key))
+            if (
+                leftover is not None
+                and leftover.get("attempts", 0) == 0
+                and leftover.get("max_attempts") == self.max_attempts
+                and leftover.get("cache_dir") == cache_dir
+            ):
+                continue  # already queued with a fresh budget
+            # (Re-)publish with attempts=0 -- last-wins overwrite.  The
+            # tiny window against a concurrent claim of a leftover task
+            # can at worst duplicate one idempotent execution.
+            fq.enqueue(self._payload(cells[0], cache_dir, 0))
+
+        procs = self._spawn_local_workers()
+        last_progress = time.monotonic()
+        stall_warned = False
+        dead_worker_rounds = 0
+        housekeep_every = max(
+            self.poll_interval, min(self.lease_timeout / 4.0, 2.0)
+        )
+        next_housekeeping = time.monotonic()
+        try:
+            while remaining:
+                progressed = False
+                # One readdir of done/ per poll round; marker JSON is only
+                # read for cells that actually completed (NFS-friendly: no
+                # per-key failed-open probing at poll rate).
+                for key in sorted(fq.done_keys().intersection(remaining)):
+                    marker = fq.read_done(key)
+                    if marker is None:
+                        continue
+                    result = cache.get(remaining[key][0].spec)
+                    if result is None:
+                        # Marker landed but the result did not reach *this*
+                        # cache.  Counts against the retry budget: with a
+                        # cache the workers cannot actually share (e.g.
+                        # --cache outside the queue dir on a multi-host
+                        # run) every attempt ends here, and without the
+                        # budget the cell would re-execute forever.
+                        fq.done_path(key).unlink(missing_ok=True)
+                        attempts = fq.failure_count(key) + 1
+                        fq.record_failure(
+                            key,
+                            worker=str(marker.get("worker", "unknown")),
+                            kind="missing_result",
+                            error="done marker published but no readable "
+                            "cached result on the coordinator -- is the "
+                            "cache directory shared with the workers?",
+                            attempts=attempts,
+                        )
+                        if attempts < self.max_attempts:
+                            fq.enqueue(
+                                self._payload(
+                                    remaining[key][0], cache_dir, attempts
+                                )
+                            )
+                        continue
+                    for cell in remaining.pop(key):
+                        yield CellCompletion(
+                            cell=cell,
+                            result=result,
+                            elapsed_seconds=float(
+                                marker.get("elapsed_seconds", 0.0)
+                            ),
+                            worker=str(marker.get("worker", "")),
+                            already_cached=True,
+                        )
+                    progressed = True
+                if not remaining:
+                    break
+                if progressed:
+                    last_progress = time.monotonic()
+                    stall_warned = False
+
+                # Housekeeping (lease reclaim, budget enforcement, the
+                # stranded-cell backstop, worker-death detection) runs at
+                # a coarser cadence than done-marker collection: it is
+                # O(remaining cells) of filesystem stats, which on the
+                # shared/NFS mounts this executor targets is real metadata
+                # traffic, and none of it needs 10 Hz resolution.
+                if time.monotonic() >= next_housekeeping:
+                    next_housekeeping = time.monotonic() + housekeep_every
+
+                    self._reclaim_expired(fq, remaining, cache_dir)
+
+                    failure_counts = fq.failure_counts()
+                    for key in remaining:
+                        failures = failure_counts.get(key, 0)
+                        if failures >= self.max_attempts:
+                            records = fq.read_failures(key)
+                            last = records[-1] if records else {}
+                            detail = str(
+                                last.get("error", "")
+                            ).strip().splitlines()
+                            cell = remaining[key][0]
+                            raise SweepCellError(
+                                f"sweep cell {cell.describe()} failed "
+                                f"{failures} time(s) on the file queue "
+                                f"(budget {self.max_attempts}); last error: "
+                                f"{detail[-1] if detail else 'unrecorded'}",
+                                cell=cell,
+                                overrides=cell.overrides,
+                            )
+
+                    # Liveness backstop: a cell no queue state tracks at
+                    # all (no task, no claim, no done marker, budget not
+                    # spent) is stranded -- e.g. a worker from a previous
+                    # run failed it but declined the requeue under its
+                    # stale attempt count.  Republish it; a harmless
+                    # duplicate in the rare race with a just-claiming
+                    # worker beats a sweep that never returns.
+                    claims_live = False
+                    for key in list(remaining):
+                        if fq.claim_path(key).exists():
+                            claims_live = True
+                        elif (
+                            failure_counts.get(key, 0) < self.max_attempts
+                            and not fq.task_path(key).exists()
+                            and not fq.done_path(key).exists()
+                        ):
+                            fq.enqueue(
+                                self._payload(
+                                    remaining[key][0],
+                                    cache_dir,
+                                    failure_counts.get(key, 0),
+                                )
+                            )
+
+                    if (
+                        procs
+                        and all(proc.poll() is not None for proc in procs)
+                        # External workers (other hosts) may still be
+                        # draining the queue: only give up when no lease
+                        # is live either -- and only after the condition
+                        # holds across consecutive rounds, so a poll that
+                        # lands in the instant between one claim being
+                        # released and the next being taken (or right as
+                        # the last cell finishes) cannot kill a healthy
+                        # sweep.
+                        and not claims_live
+                    ):
+                        dead_worker_rounds += 1
+                        if dead_worker_rounds >= 3:
+                            codes = [proc.returncode for proc in procs]
+                            raise SweepCellError(
+                                f"all {len(procs)} local sweep workers "
+                                f"exited unexpectedly (exit codes {codes}) "
+                                f"with {len(remaining)} cell(s) unfinished "
+                                f"and no external workers active"
+                            )
+                    else:
+                        dead_worker_rounds = 0
+
+                    if (
+                        not stall_warned
+                        and self.stall_warning
+                        and time.monotonic() - last_progress
+                        > self.stall_warning
+                        and not claims_live
+                        and not procs
+                    ):
+                        print(
+                            f"[sweep-queue] {len(remaining)} cell(s) queued "
+                            f"in {self.queue_dir} with no active workers; "
+                            f"start tfrc-sweep-worker processes pointed at "
+                            f"this directory (or rerun with local workers)",
+                            file=sys.stderr,
+                        )
+                        stall_warned = True
+
+                time.sleep(self.poll_interval)
+        except BaseException:
+            # Leave claims (their workers may still finish and warm the
+            # cache) but withdraw unclaimed tasks so external workers stop
+            # picking up a sweep that already failed.
+            for key in remaining:
+                fq.task_path(key).unlink(missing_ok=True)
+            raise
+        finally:
+            self._stop_workers(procs)
+
+
+def _cell_key(cell: "SweepCell") -> str:
+    """Queue/cache-aligned cell identity: ``<scenario>-<spec_hash>``."""
+    return f"{cell.spec.scenario}-{cell.spec.spec_hash()}"
+
+
+#: what SweepRunner accepts for ``executor=``: a name or an instance.
+ExecutorArg = Union[str, SweepExecutor]
+
+#: the valid ``executor=`` / ``--executor`` names, in one place (also used
+#: by SweepRunner validation and the experiment CLI's argparse choices).
+EXECUTOR_NAMES = ("serial", "pool", "queue")
+
+
+def resolve_executor(
+    executor: Optional[ExecutorArg],
+    *,
+    parallel: int = 1,
+    queue_dir: Optional["str | os.PathLike[str]"] = None,
+    pending: Optional[int] = None,
+) -> SweepExecutor:
+    """Turn ``executor=`` (name, instance, or None) into a backend.
+
+    ``None`` preserves the historical behavior: serial for ``parallel=1``
+    (or a single pending cell), otherwise a process pool of ``parallel``
+    workers.  The name ``"queue"`` builds a :class:`FileQueueExecutor` on
+    ``queue_dir`` with ``parallel`` locally spawned workers (0 = rely on
+    externally started ``tfrc-sweep-worker`` processes).
+    """
+    if isinstance(executor, SweepExecutor):
+        return executor
+    if executor is None:
+        if parallel <= 1 or (pending is not None and pending <= 1):
+            return SerialExecutor()
+        return PoolExecutor(max_workers=parallel)
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "pool":
+        return PoolExecutor(max_workers=max(1, parallel))
+    if executor == "queue":
+        if queue_dir is None:
+            raise ValueError("executor 'queue' requires a queue_dir")
+        return FileQueueExecutor(queue_dir, local_workers=max(0, parallel))
+    raise ValueError(
+        f"unknown executor {executor!r}; choose one of {EXECUTOR_NAMES} "
+        f"or pass a SweepExecutor instance"
+    )

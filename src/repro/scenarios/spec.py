@@ -86,15 +86,26 @@ class ScenarioSpec:
         Keys address either a top-level field (``"seed"``, ``"duration"``)
         or a nested parameter (``"topology.bandwidth_bps"``,
         ``"queue.type"``).  Used by the sweep runner to expand grids.
+
+        Missing intermediate mappings are created, but a path that would
+        descend *through* an existing non-mapping value -- ``"seed.x"``
+        against the scalar ``seed`` field, or ``"topology.a.b"`` when
+        ``topology.a`` is a scalar -- raises :class:`ValueError` naming the
+        offending segment instead of silently clobbering it (which would
+        corrupt seeding and spec hashing downstream).
         """
         data = self.to_dict()
         for path, value in overrides.items():
             parts = path.split(".")
             node: Any = data
-            for part in parts[:-1]:
-                if part not in node or not isinstance(node[part], dict):
-                    node[part] = {}
-                node = node[part]
+            for depth, part in enumerate(parts[:-1]):
+                if part in node and not isinstance(node[part], dict):
+                    where = ".".join(parts[: depth + 1])
+                    raise ValueError(
+                        f"override path {path!r} descends through {where!r}, "
+                        f"which holds the non-mapping value {node[part]!r}"
+                    )
+                node = node.setdefault(part, {})
             node[parts[-1]] = value
         return ScenarioSpec.from_dict(data)
 

@@ -3,34 +3,50 @@
 The paper's evaluation is a grid of scenario sweeps (link rates x flow
 counts x queue disciplines x loss models).  :class:`SweepRunner` expands a
 base :class:`~repro.scenarios.spec.ScenarioSpec` against a grid of
-dotted-path overrides into cells, then executes the cells serially or on a
-``ProcessPoolExecutor``, with
+dotted-path overrides into cells, then executes the cells on a pluggable
+:class:`~repro.scenarios.executors.SweepExecutor` -- serially, on a local
+process pool, or across any number of (possibly multi-host) worker
+processes coordinated through a shared queue directory -- with
 
 * **deterministic seeding** -- cells either share the base seed
   (``seed_mode="shared"``, the paper's methodology for comparable cells) or
   derive a stable per-cell seed from the base seed plus the cell's
   overrides (``seed_mode="derived"``, for replication studies).  Either
-  way, serial and parallel execution of the same sweep produce identical
-  results.
+  way, every executor produces byte-identical results for the same sweep:
+  each cell's spec (including its seed) is fixed at expansion time.
 * **progress reporting** -- an optional callback fired after every cell.
 * **result caching** -- an optional on-disk JSON cache keyed by spec hash,
-  so re-running a sweep only simulates cells whose spec changed.
+  so re-running a sweep only simulates cells whose spec changed.  The
+  file-queue executor requires the cache: workers deliver results through
+  it, and the coordinator assembles the sweep purely from cache.
+* **failure context** -- a failing cell raises
+  :class:`~repro.scenarios.executors.SweepCellError` naming the cell and
+  its overrides, with the partial :class:`SweepResult` (every cell that did
+  finish, cache hits included) attached as ``.partial``.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.scenarios.cache import ResultCache
+from repro.scenarios.executors import (
+    EXECUTOR_NAMES,
+    ExecutorArg,
+    FileQueueExecutor,
+    SweepCellError,
+    SweepPlan,
+    _execute_remote,  # noqa: F401  (re-exported for backward compatibility)
+    resolve_executor,
+)
 from repro.scenarios.spec import (
     JsonDict,
     ScenarioSpec,
     get_scenario,
-    run_scenario,
 )
 
 #: progress callback: (cells done, cells total, the cell just finished).
@@ -72,23 +88,6 @@ class SweepResult:
         return sum(1 for cell in self.cells if cell.from_cache)
 
 
-def _execute_remote(
-    module_name: str, spec_dict: Dict[str, Any]
-) -> Tuple[JsonDict, float]:
-    """Worker-side cell execution (module-level, hence picklable).
-
-    Importing the scenario's defining module re-populates the registry in
-    spawn-started workers; under fork it is a no-op lookup.
-    """
-    import importlib
-
-    importlib.import_module(module_name)
-    spec = ScenarioSpec.from_dict(spec_dict)
-    started = time.perf_counter()
-    result = run_scenario(spec)
-    return result, time.perf_counter() - started
-
-
 class SweepRunner:
     """Expand a parameter grid over a base spec and execute every cell."""
 
@@ -101,11 +100,26 @@ class SweepRunner:
         cache_dir: Optional[str] = None,
         progress: Optional[ProgressFn] = None,
         seed_mode: str = "shared",
+        executor: Optional[ExecutorArg] = None,
+        queue_dir: Optional[str] = None,
     ) -> None:
-        if parallel < 1:
-            raise ValueError("parallel must be >= 1")
+        wants_queue = executor == "queue" or isinstance(
+            executor, FileQueueExecutor
+        )
+        if parallel < (0 if wants_queue else 1):
+            raise ValueError(
+                "parallel must be >= 1 (>= 0 with the queue executor, "
+                "where 0 means 'externally started workers only')"
+            )
         if seed_mode not in ("shared", "derived"):
             raise ValueError("seed_mode must be 'shared' or 'derived'")
+        if isinstance(executor, str) and executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose one of "
+                f"{EXECUTOR_NAMES}"
+            )
+        if executor == "queue" and queue_dir is None:
+            raise ValueError("executor 'queue' requires queue_dir")
         self.base = base
         self.grid: Dict[str, List[Any]] = {
             key: list(values) for key, values in (grid or {}).items()
@@ -114,6 +128,17 @@ class SweepRunner:
             if not values:
                 raise ValueError(f"grid axis {key!r} has no values")
         self.parallel = parallel
+        self.executor = executor
+        self.queue_dir = queue_dir
+        if cache_dir is None and wants_queue:
+            # The queue executor moves results through the cache; default
+            # it into the queue directory so multi-host workers find it.
+            root = (
+                executor.queue_dir
+                if isinstance(executor, FileQueueExecutor)
+                else queue_dir
+            )
+            cache_dir = os.path.join(str(root), "results")
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.progress = progress
         self.seed_mode = seed_mode
@@ -162,10 +187,13 @@ class SweepRunner:
     # ------------------------------------------------------------ execution
 
     def run(self) -> SweepResult:
-        """Execute all cells (serial or process-parallel) and return them.
+        """Execute all cells on the configured executor and return them.
 
-        Cell results are independent of execution order and worker count:
-        each cell's spec (including its seed) is fixed at expansion time.
+        Cell results are independent of executor choice, execution order,
+        and worker count: each cell's spec (including its seed) is fixed at
+        expansion time.  On a cell failure the raised
+        :class:`~repro.scenarios.executors.SweepCellError` carries the
+        partial :class:`SweepResult` as ``.partial``.
         """
         get_scenario(self.base.scenario)  # fail fast on unknown scenarios
         cells = self.cells()
@@ -186,36 +214,31 @@ class SweepRunner:
         if not pending:
             return SweepResult(cells=cells)
 
-        if self.parallel == 1 or len(pending) == 1:
-            for cell in pending:
-                started = time.perf_counter()
-                cell.result = run_scenario(cell.spec)
-                cell.elapsed_seconds = time.perf_counter() - started
-                self._finish(cell)
+        executor = resolve_executor(
+            self.executor,
+            parallel=self.parallel,
+            queue_dir=self.queue_dir,
+            pending=len(pending),
+        )
+        plan = SweepPlan(
+            cells=pending,
+            module_name=get_scenario(self.base.scenario).__module__,
+            cache=self.cache,
+        )
+        try:
+            for completion in executor.run_cells(plan):
+                cell = completion.cell
+                cell.result = completion.result
+                cell.elapsed_seconds = completion.elapsed_seconds
+                if not completion.already_cached:
+                    self._finish(cell)
                 done += 1
                 if self.progress:
                     self.progress(done, total, cell)
-            return SweepResult(cells=cells)
-
-        module_name = get_scenario(self.base.scenario).__module__
-        workers = min(self.parallel, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_remote, module_name, cell.spec.to_dict()): cell
-                for cell in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in finished:
-                    cell = futures[future]
-                    cell.result, cell.elapsed_seconds = future.result()
-                    self._finish(cell)
-                    done += 1
-                    if self.progress:
-                        self.progress(done, total, cell)
+        except SweepCellError as exc:
+            # Already-finished cells (cached or executed) stay accessible.
+            exc.partial = SweepResult(cells=cells)
+            raise
         return SweepResult(cells=cells)
 
     def _finish(self, cell: SweepCell) -> None:
@@ -229,15 +252,23 @@ def run_single_cell(
     parallel: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    executor: Optional[ExecutorArg] = None,
+    queue_dir: Optional[str] = None,
 ) -> JsonDict:
     """Execute a gridless spec as one sweep cell and return its result.
 
     The figure modules whose headline run is a single cell still route it
     through :class:`SweepRunner` so the CLI contract (``--cache`` result
-    re-use, progress reporting) applies uniformly.
+    re-use, progress reporting, ``--executor`` selection) applies
+    uniformly.
     """
     sweep = SweepRunner(
-        base, parallel=parallel, cache_dir=cache_dir, progress=progress
+        base,
+        parallel=parallel,
+        cache_dir=cache_dir,
+        progress=progress,
+        executor=executor,
+        queue_dir=queue_dir,
     ).run()
     result = sweep.cells[0].result
     assert result is not None

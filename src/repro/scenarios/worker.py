@@ -1,0 +1,253 @@
+"""``tfrc-sweep-worker``: drain sweep cells from a shared queue directory.
+
+One worker process serves one queue directory (see
+:class:`~repro.scenarios.executors.FileQueue` for the on-disk protocol).
+Start any number of workers -- on the coordinating host or on other hosts
+mounting the same directory -- and each repeatedly:
+
+1. leases the next claimable cell with an atomic ``tasks/ -> claims/``
+   rename (the claim file's mtime is the heartbeat, refreshed by a
+   background thread while the cell simulates);
+2. imports the scenario's defining module, rebuilds the
+   :class:`~repro.scenarios.spec.ScenarioSpec`, and -- unless the result is
+   already in the cell's :class:`~repro.scenarios.cache.ResultCache`
+   (crash-resume) -- runs it and stores the result;
+3. publishes a ``done/`` marker so the coordinator can assemble the sweep
+   purely from the cache.
+
+A failing cell is recorded under ``failures/`` and requeued until its
+``max_attempts`` budget is spent; a worker killed mid-cell simply stops
+heartbeating and the coordinator reclaims the lease.
+
+Usage::
+
+    tfrc-sweep-worker SHARED_DIR                    # serve until killed
+    tfrc-sweep-worker SHARED_DIR --idle-timeout 60  # exit after 60s idle
+    tfrc-sweep-worker SHARED_DIR --once             # drain, then exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import List, Optional
+
+from repro.scenarios.cache import ResultCache
+from repro.scenarios.executors import FileQueue
+from repro.scenarios.spec import ScenarioSpec, run_scenario
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _log(worker_id: str, message: str) -> None:
+    print(f"[sweep-worker {worker_id}] {message}", file=sys.stderr, flush=True)
+
+
+def process_one(
+    fq: FileQueue,
+    *,
+    worker_id: str,
+    heartbeat_interval: float = 5.0,
+    verbose: bool = True,
+) -> Optional[bool]:
+    """Claim and execute one cell.
+
+    Returns True on success, False on a recorded failure, None when there
+    was nothing claimable.
+    """
+    claimed = fq.claim_next(worker_id)
+    if claimed is None:
+        return None
+    claim, payload = claimed
+    key = payload["key"]
+    attempts = int(payload.get("attempts", 0))
+    max_attempts = int(payload.get("max_attempts", 1))
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            fq.heartbeat(claim)
+
+    heartbeater = threading.Thread(target=beat, daemon=True)
+    heartbeater.start()
+    started = time.perf_counter()
+    released = False
+    try:
+        importlib.import_module(payload["module"])
+        spec = ScenarioSpec.from_dict(payload["spec"])
+        cache = ResultCache(fq.resolve_cache_dir(payload["cache_dir"]))
+        cached = cache.get(spec) is not None
+        if cached:
+            elapsed = 0.0
+        else:
+            result = run_scenario(spec)
+            cache.put(spec, result)
+            elapsed = time.perf_counter() - started
+        fq.complete(
+            key,
+            worker=worker_id,
+            elapsed_seconds=elapsed,
+            attempts=attempts,
+            cached=cached,
+        )
+        if verbose:
+            source = "cache" if cached else f"{elapsed:.1f}s"
+            _log(worker_id, f"finished {key} ({source})")
+        return True
+    except Exception:
+        error = traceback.format_exc()
+        fq.record_failure(
+            key,
+            worker=worker_id,
+            kind="error",
+            error=error,
+            attempts=attempts + 1,
+        )
+        if attempts + 1 < max_attempts:
+            # Release the lease BEFORE republishing the task: enqueueing
+            # first opens a race where another worker claims the new task
+            # (rename onto our still-present claim path) and a later
+            # unlink of ours would delete *its* fresh lease.  For the same
+            # reason the final cleanup below must not touch the path again
+            # once it is released here.
+            stop.set()
+            heartbeater.join()
+            fq.release_claim(claim, worker_id)
+            released = True
+            payload["attempts"] = attempts + 1
+            fq.enqueue(payload)
+        if verbose:
+            _log(
+                worker_id,
+                f"cell {key} failed (attempt {attempts + 1}/{max_attempts}):\n"
+                f"{error}",
+            )
+        return False
+    finally:
+        stop.set()
+        heartbeater.join()
+        if not released:
+            fq.release_claim(claim, worker_id)
+
+
+def drain(
+    queue_dir: str,
+    *,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.5,
+    idle_timeout: Optional[float] = None,
+    heartbeat_interval: float = 5.0,
+    max_cells: Optional[int] = None,
+    once: bool = False,
+    verbose: bool = True,
+) -> int:
+    """Serve ``queue_dir`` until an exit condition; returns cells executed.
+
+    Exit conditions: ``once`` (queue found empty), ``idle_timeout`` seconds
+    without anything claimable, or ``max_cells`` processed.  With none of
+    them, serve until killed -- lease reclaim makes a hard kill safe.
+    """
+    worker_id = worker_id or default_worker_id()
+    fq = FileQueue(queue_dir).ensure()
+    executed = 0
+    idle_since: Optional[float] = None
+    while True:
+        outcome = process_one(
+            fq,
+            worker_id=worker_id,
+            heartbeat_interval=heartbeat_interval,
+            verbose=verbose,
+        )
+        if outcome is None:
+            if once:
+                break
+            now = time.monotonic()
+            idle_since = idle_since if idle_since is not None else now
+            if idle_timeout is not None and now - idle_since >= idle_timeout:
+                break
+            time.sleep(poll_interval)
+            continue
+        idle_since = None
+        executed += 1
+        if max_cells is not None and executed >= max_cells:
+            break
+    return executed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tfrc-sweep-worker",
+        description="Drain TFRC sweep cells from a (shared) queue directory "
+        "written by SweepRunner's file-queue executor.",
+    )
+    parser.add_argument(
+        "queue_dir",
+        help="queue directory (may be a shared mount used by other hosts)",
+    )
+    parser.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="identity recorded in claims/completions "
+        "(default: <hostname>-<pid>)",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="S",
+        help="seconds between queue scans while idle (default: 0.5)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="exit after this many seconds with nothing claimable "
+        "(default: serve until killed)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=5.0, metavar="S",
+        help="lease heartbeat interval; must be well below the "
+        "coordinator's lease timeout (default: 5)",
+    )
+    parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="exit after executing N cells",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="exit as soon as the queue is found empty",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell log lines"
+    )
+    args = parser.parse_args(argv)
+    if args.poll_interval <= 0:
+        parser.error("--poll-interval must be > 0")
+    if args.heartbeat <= 0:
+        parser.error("--heartbeat must be > 0")
+    if args.max_cells is not None and args.max_cells < 1:
+        parser.error("--max-cells must be >= 1")
+
+    worker_id = args.worker_id or default_worker_id()
+    if not args.quiet:
+        _log(worker_id, f"serving {args.queue_dir}")
+    executed = drain(
+        args.queue_dir,
+        worker_id=worker_id,
+        poll_interval=args.poll_interval,
+        idle_timeout=args.idle_timeout,
+        heartbeat_interval=args.heartbeat,
+        max_cells=args.max_cells,
+        once=args.once,
+        verbose=not args.quiet,
+    )
+    if not args.quiet:
+        _log(worker_id, f"exiting after {executed} cell(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,3 +40,34 @@ class TestRunnerCli:
         assert runner.main(["fig20", "--quick", "--plot"]) == 0
         out = capsys.readouterr().out
         assert "Fig 21: response to persistent congestion" in out
+
+    def test_executor_flag_validation(self, tmp_path):
+        with pytest.raises(SystemExit):
+            runner.main(["fig20", "--quick", "--executor", "queue"])
+        with pytest.raises(SystemExit):
+            runner.main(["fig20", "--quick", "--queue-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            runner.main(["fig20", "--quick", "--parallel", "0"])
+        with pytest.raises(SystemExit):
+            runner.main(["fig20", "--quick", "--executor", "ring"])
+
+    def test_fig05_explicit_serial_executor(self, capsys):
+        assert runner.main(["fig05", "--quick", "--executor", "serial"]) == 0
+        assert "rate x1.0" in capsys.readouterr().out
+
+    def test_fig20_queue_executor_matches_serial(self, tmp_path, capsys):
+        assert runner.main(["fig20", "--quick"]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            runner.main([
+                "fig20", "--quick",
+                "--executor", "queue",
+                "--queue-dir", str(tmp_path / "queue"),
+                "--parallel", "1",
+                "--cache", str(tmp_path / "cache"),
+            ])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "[sweep" in captured.err  # progress lines per finished cell

@@ -68,6 +68,22 @@ class TestSpec:
         # the original is untouched
         assert spec.topology["bw"] == 1e6 and spec.seed == 0
 
+    def test_override_rejects_non_mapping_intermediates(self):
+        # descending through the scalar top-level `seed` field would turn
+        # it into a dict and corrupt derive_seed/hashing downstream
+        spec = ScenarioSpec("test_echo", topology={"a": 5})
+        with pytest.raises(ValueError, match="'seed'"):
+            spec.override({"seed.x": 1})
+        with pytest.raises(ValueError, match="topology.a"):
+            spec.override({"topology.a.b": 1})
+        # untouched paths stay intact after the rejected override
+        assert spec.topology == {"a": 5} and spec.seed == 0
+
+    def test_override_still_creates_missing_intermediates(self):
+        spec = ScenarioSpec("test_echo")
+        new = spec.override({"extra.foo.bar": 1})
+        assert new.extra == {"foo": {"bar": 1}}
+
     def test_derive_seed_deterministic_and_distinct(self):
         spec = ScenarioSpec("test_echo", seed=5)
         a = spec.derive_seed({"flows.total": 8})
@@ -158,6 +174,26 @@ class TestCache:
         spec = ScenarioSpec("test_echo", seed=1)
         path = cache.put(spec, {"value": 1})
         path.write_text("{not json", encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_failed_put_leaves_no_tmp_file(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = ScenarioSpec("test_echo", seed=1)
+        with pytest.raises(TypeError):
+            cache.put(spec, {"bad": object()})  # not JSON-serializable
+        assert list(tmp_path.iterdir()) == []
+        assert cache.get(spec) is None
+
+    def test_nan_and_infinity_results_rejected(self, tmp_path):
+        # canonical_json hashes specs with allow_nan=False; entries must be
+        # strict JSON too, not silently non-portable
+        cache = ResultCache(tmp_path)
+        spec = ScenarioSpec("test_echo", seed=1)
+        with pytest.raises(ValueError, match="NaN"):
+            cache.put(spec, {"metric": float("nan")})
+        with pytest.raises(ValueError):
+            cache.put(spec, {"metric": float("inf")})
+        assert list(tmp_path.iterdir()) == []
         assert cache.get(spec) is None
 
 
