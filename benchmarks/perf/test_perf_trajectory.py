@@ -21,6 +21,7 @@ from repro.perf.bench import (
     check_against_baseline,
     find_baselines,
     latest_baseline,
+    next_baseline_path,
     run_cell,
 )
 
@@ -71,6 +72,46 @@ class TestCommittedTrajectory:
         speedup = report["suites"]["full"]["dumbbell_steady"]["speedup"]
         assert speedup >= 1.5, (
             f"committed dumbbell_steady speedup {speedup:.2f}x < 1.5x"
+        )
+
+    def test_baselines_sort_by_pr_number_not_lexicographically(
+        self, tmp_path
+    ):
+        """Regression: from PR 10 on, a lexicographic sort would place
+        BENCH_PR10.json *before* BENCH_PR2.json, making `--check latest`
+        gate against an ancient file and `--output next` overwrite it."""
+        for n in (2, 3, 10, 11):
+            (tmp_path / f"BENCH_PR{n}.json").write_text("{}")
+        (tmp_path / "BENCH_PRx.json").write_text("{}")  # not a baseline
+        root = str(tmp_path)
+        assert find_baselines(root) == [
+            "BENCH_PR2.json", "BENCH_PR3.json",
+            "BENCH_PR10.json", "BENCH_PR11.json",
+        ]
+        assert latest_baseline(root).endswith("BENCH_PR11.json")
+        assert next_baseline_path(root).endswith("BENCH_PR12.json")
+        assert find_baselines(str(tmp_path / "missing")) == []
+
+    def test_pr6_acceptance_vector_sweep(self):
+        """PR-6 acceptance, pinned on the committed trajectory: the vector
+        executor must clear 3x serial cells/sec on a single process over a
+        supported grid of at least 64 cells."""
+        pr6 = os.path.join(REPO_ROOT, "BENCH_PR6.json")
+        assert os.path.exists(pr6), (
+            "BENCH_PR6.json not committed: regenerate with "
+            "`tfrc-bench --suite all --isolate --output next`"
+        )
+        with open(pr6) as fh:
+            report = json.load(fh)
+        for scale in ("smoke", "full"):
+            sweep = report["suites"][scale]["vector_sweep"]
+            assert sweep["cells"] >= 64, scale
+            for executor in ("serial", "vector"):
+                assert sweep[executor]["wall_seconds"] > 0, (scale, executor)
+                assert sweep[executor]["cells_per_sec"] > 0, (scale, executor)
+        full = report["suites"]["full"]["vector_sweep"]
+        assert full["speedup"] >= 3.0, (
+            f"committed vector_sweep speedup {full['speedup']:.2f}x < 3x"
         )
 
     def test_pr4_acceptance_network_layer_fast_path(self):

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: Appendix A.1: with the simple response function and normalized weight
 #: w = 1/6 on the newest interval, the per-RTT rate increase is at most
 #: ~0.12 packets/RTT; with Equation (1) the paper quotes 0.14.
@@ -106,6 +108,67 @@ def invert_response(
         else:
             hi = mid
     return math.sqrt(lo * hi)
+
+
+def tcp_response_rate_vec(
+    packet_size: float,
+    rtt: np.ndarray,
+    p: np.ndarray,
+    t_rto: np.ndarray,
+) -> np.ndarray:
+    """Element-wise :func:`tcp_response_rate` over vectors of cells.
+
+    Evaluates, per element, exactly the scalar expression: only ``+ - * /``
+    and ``sqrt`` appear, all of which are correctly rounded under IEEE-754,
+    so each element is bit-identical to the scalar call with the same
+    inputs (``np.sqrt`` and ``math.sqrt`` agree on every double).  Inputs
+    are assumed pre-validated (positive sizes/times, ``p <= 1``); ``p`` is
+    clamped to ``P_MIN`` exactly as the scalar form does.
+    """
+    p = np.maximum(p, P_MIN)
+    term_rtt = rtt * np.sqrt(2.0 * p / 3.0)
+    term_rto = t_rto * (3.0 * np.sqrt(3.0 * p / 8.0)) * p * (1.0 + 32.0 * p * p)
+    return packet_size / (term_rtt + term_rto)
+
+
+def invert_response_vec(
+    packet_size: float,
+    rtt: np.ndarray,
+    target_rate: np.ndarray,
+    t_rto: np.ndarray,
+    tolerance: float = 1e-12,
+) -> np.ndarray:
+    """Element-wise :func:`invert_response` over vectors of cells.
+
+    Runs the same geometric bisection with converged/early-exit elements
+    masked out of further updates; since each element's (lo, hi) sequence
+    matches the scalar iteration exactly, results are bit-identical to
+    per-element scalar calls.
+    """
+    rtt, target, t_rto = np.broadcast_arrays(
+        np.asarray(rtt, dtype=np.float64),
+        np.asarray(target_rate, dtype=np.float64),
+        np.asarray(t_rto, dtype=np.float64),
+    )
+    if np.any(target <= 0):
+        raise ValueError("target_rate must be positive")
+    at_p_min = tcp_response_rate_vec(packet_size, rtt, np.float64(P_MIN), t_rto)
+    at_one = tcp_response_rate_vec(packet_size, rtt, np.float64(1.0), t_rto)
+    done_low = at_p_min <= target
+    done_high = ~done_low & (at_one >= target)
+    active = ~done_low & ~done_high
+    lo = np.full(rtt.shape, P_MIN, dtype=np.float64)
+    hi = np.ones(rtt.shape, dtype=np.float64)
+    while True:
+        running = active & (hi - lo > tolerance * np.maximum(1.0, hi))
+        if not running.any():
+            break
+        mid = np.sqrt(lo * hi)  # geometric bisection: p spans many decades
+        go_lo = tcp_response_rate_vec(packet_size, rtt, mid, t_rto) > target
+        lo = np.where(running & go_lo, mid, lo)
+        hi = np.where(running & ~go_lo, mid, hi)
+    out = np.sqrt(lo * hi)
+    return np.where(done_low, P_MIN, np.where(done_high, 1.0, out))
 
 
 def analytic_rate_increase(average_interval: float, newest_weight: float) -> float:

@@ -120,6 +120,35 @@ class AverageLossIntervals:
         self._s0 = 0.0
         self.loss_events += 1
 
+    @classmethod
+    def from_state(
+        cls,
+        intervals: Sequence[float],
+        discounts: Sequence[float],
+        open_interval: float,
+        loss_events: int,
+        *,
+        n: int = 8,
+        discounting: bool = True,
+        discount_floor: float = 0.3,
+    ) -> "AverageLossIntervals":
+        """Rebuild an estimator from a mid-run snapshot.
+
+        ``intervals``/``discounts`` are the closed-interval history, newest
+        first (the layout :attr:`history` reports).  Used by the batched
+        cell kernel to hand a lane's loss history to a scalar continuation.
+        """
+        if len(intervals) != len(discounts):
+            raise ValueError("intervals and discounts must be parallel")
+        if len(intervals) > n:
+            raise ValueError(f"history holds at most n={n} intervals")
+        est = cls(n=n, discounting=discounting, discount_floor=discount_floor)
+        est._intervals.extend(float(v) for v in intervals)
+        est._discounts.extend(float(d) for d in discounts)
+        est._s0 = float(open_interval)
+        est.loss_events = int(loss_events)
+        return est
+
     # ------------------------------------------------------------ averages
 
     @property

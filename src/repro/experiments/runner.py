@@ -324,7 +324,9 @@ def main(argv=None) -> int:
         "--executor", choices=EXECUTOR_NAMES, default=None,
         help="sweep execution backend (default: serial, or a process pool "
         "when --parallel > 1); 'queue' coordinates tfrc-sweep-worker "
-        "processes -- including on other hosts -- through --queue-dir",
+        "processes -- including on other hosts -- through --queue-dir; "
+        "'vector' advances compatible cells in lockstep numpy batches "
+        "(cells it cannot batch fall back to scalar with a warning)",
     )
     parser.add_argument(
         "--queue-dir", default=None, metavar="DIR",

@@ -18,6 +18,8 @@ from typing import Callable, Deque, List, Optional
 import numpy as np
 
 from repro.net.packet import Packet
+from repro.net.redmath import RedParams, red_drop_probability
+from repro.sim.rng import BlockDraws
 
 
 class Queue:
@@ -168,16 +170,19 @@ class REDQueue(Queue):
         fastpath: bool = True,
     ) -> None:
         super().__init__(capacity_packets, name=name)
-        if not 0 < min_thresh < max_thresh:
-            raise ValueError("need 0 < min_thresh < max_thresh")
-        if not 0 < max_p <= 1:
-            raise ValueError("max_p must be in (0, 1]")
-        if not 0 < weight <= 1:
-            raise ValueError("EWMA weight must be in (0, 1]")
-        self.min_thresh = float(min_thresh)
-        self.max_thresh = float(max_thresh)
-        self.max_p = float(max_p)
-        self.weight = float(weight)
+        # Parameter validation and the hoisted decision constants live in
+        # the shared RedParams (also consumed by the batched cell kernel).
+        self.params = RedParams(
+            min_thresh=float(min_thresh),
+            max_thresh=float(max_thresh),
+            max_p=float(max_p),
+            weight=float(weight),
+            gentle=gentle,
+        )
+        self.min_thresh = self.params.min_thresh
+        self.max_thresh = self.params.max_thresh
+        self.max_p = self.params.max_p
+        self.weight = self.params.weight
         self.gentle = gentle
         self.mean_packet_size = mean_packet_size
         self._rng = rng if rng is not None else np.random.default_rng(0)
@@ -192,15 +197,15 @@ class REDQueue(Queue):
         self.forced_drops = 0
         self.ecn_marks = 0
         self.fastpath = fastpath
-        # Hoisted per-packet constants.  Each is produced by the *same*
-        # float expression the legacy path evaluates per packet, so using
-        # the cached value is bit-identical; only the idle-decay
+        # Hoisted per-packet constants.  Each is produced (in RedParams) by
+        # the *same* float expression the legacy path evaluates per packet,
+        # so using the cached value is bit-identical; only the idle-decay
         # ``exp(log(1-w) * m)`` replaces ``(1-w) ** m`` (equal to within
         # the last ulp of libm -- decision-identical in practice, asserted
         # against the legacy path in the equivalence tests).
-        self._thresh_range = self.max_thresh - self.min_thresh
-        self._two_max_thresh = 2 * self.max_thresh
-        self._one_minus_max_p = 1.0 - self.max_p
+        self._thresh_range = self.params.thresh_range
+        self._two_max_thresh = self.params.two_max_thresh
+        self._one_minus_max_p = self.params.one_minus_max_p
         # ``weight == 1`` (legal, degenerate EWMA) has no finite log; the
         # fast path then falls back to the legacy power expression.
         self._ln_one_minus_w = (
@@ -209,9 +214,12 @@ class REDQueue(Queue):
         self._packet_time = (
             self.mean_packet_size * 8
         ) / self.fallback_service_rate_bps
-        # Block-buffered uniform draws (fast path only).
-        self._u_buf = self._rng.random(0)
-        self._u_i = 0
+        # Block-buffered uniform draws (fast path only); the shared helper
+        # consumes the same bit stream as per-call scalar draws, so the
+        # decision stream is unchanged.  ``next`` is hoisted to a bound
+        # method so the fused path pays one call, no extra lookups.
+        self._draws = BlockDraws(self._rng, block=64)
+        self._next_draw = self._draws.next
         if fastpath:
             self.enqueue = self._enqueue_fast  # type: ignore[method-assign]
 
@@ -248,15 +256,7 @@ class REDQueue(Queue):
 
     def _drop_probability(self) -> float:
         """Instantaneous mark probability p_b from the average queue size."""
-        if self.avg < self.min_thresh:
-            return 0.0
-        if self.avg < self.max_thresh:
-            frac = (self.avg - self.min_thresh) / (self.max_thresh - self.min_thresh)
-            return frac * self.max_p
-        if self.gentle and self.avg < 2 * self.max_thresh:
-            frac = (self.avg - self.max_thresh) / self.max_thresh
-            return self.max_p + frac * (1.0 - self.max_p)
-        return 1.0
+        return red_drop_probability(self.params, self.avg)
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         # Legacy per-packet path (the fast-path ctor rebinds ``enqueue`` to
@@ -292,10 +292,9 @@ class REDQueue(Queue):
         # Legacy-path draw: scalar, straight off the bit stream -- unless a
         # fast-path buffer is outstanding (a queue toggled mid-run), in
         # which case the buffer must drain first to keep the stream aligned.
-        if self._u_i < len(self._u_buf):
-            value = self._u_buf.item(self._u_i)
-            self._u_i += 1
-            return value
+        buffered = self._draws.take_buffered()
+        if buffered is not None:
+            return buffered
         return float(self._rng.random())
 
     def _enqueue_fast(self, packet: Packet, now: float) -> bool:
@@ -357,14 +356,8 @@ class REDQueue(Queue):
                 self._count_since_drop = count
                 denom = 1.0 - count * p_b
                 p_a = 1.0 if denom <= 0 else min(1.0, p_b / denom)
-                # --- block-buffered uniform draw
-                i = self._u_i
-                buf = self._u_buf
-                if i >= len(buf):
-                    self._u_buf = buf = self._rng.random(64)
-                    i = 0
-                self._u_i = i + 1
-                if buf.item(i) < p_a:
+                # --- block-buffered uniform draw (shared BlockDraws helper)
+                if self._next_draw() < p_a:
                     self._count_since_drop = 0
                     if self.ecn and packet.ecn_capable:
                         packet.ecn_marked = True

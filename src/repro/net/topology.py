@@ -26,6 +26,7 @@ from repro.net.link import Link, Receiver
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue, Queue, REDQueue
 from repro.sim.engine import Simulator
+from repro.sim.rng import BlockDraws
 
 
 @dataclass
@@ -81,38 +82,12 @@ class DumbbellConfig:
         raise ValueError(f"unknown queue type {self.queue_type!r}")
 
 
-class _BatchedJitter:
-    """Block-buffered uniform draws from a shared jitter RNG.
-
-    numpy fills array draws from the same underlying bit stream as repeated
-    scalar calls, so handing out ``rng.uniform(0, high, block)`` one element
-    at a time yields the *exact same values in the same order* as the legacy
-    per-packet ``rng.uniform(0, high)`` -- at a fraction of the per-draw
-    cost.  One instance must be shared by every port drawing from the same
-    RNG (draw order across ports is the event order, which is deterministic).
-    """
-
-    __slots__ = ("_rng", "high", "_buf", "_i", "_block")
-
-    def __init__(
-        self, rng: np.random.Generator, high: float, block: int = 256
-    ) -> None:
-        self._rng = rng
-        #: upper draw bound; ports with a different ``jitter_max`` must not
-        #: use this stream (enforced in :class:`FlowPort`).
-        self.high = high
-        self._block = block
-        self._buf = rng.uniform(0.0, high, 0)
-        self._i = 0
-
-    def next(self) -> float:
-        i = self._i
-        buf = self._buf
-        if i >= len(buf):
-            self._buf = buf = self._rng.uniform(0.0, self.high, self._block)
-            i = 0
-        self._i = i + 1
-        return buf.item(i)
+# Block-buffered uniform jitter draws.  One shared instance must be used by
+# every port drawing from the same RNG (draw order across ports is the event
+# order, which is deterministic); ``high`` is the jitter bound, so handed-out
+# values match the legacy per-packet ``rng.uniform(0, high)`` bit for bit.
+# The buffering logic itself lives in ``repro.sim.rng.BlockDraws``.
+_BatchedJitter = BlockDraws
 
 
 class FlowPort:
@@ -132,7 +107,7 @@ class FlowPort:
         jitter_rng: Optional[np.random.Generator] = None,
         jitter_max: float = 0.0,
         fast_scheduling: bool = True,
-        jitter_stream: Optional[_BatchedJitter] = None,
+        jitter_stream: Optional[BlockDraws] = None,
     ) -> None:
         self._sim = sim
         self._link = shared_link
@@ -245,7 +220,7 @@ class Dumbbell:
         # All ports draw jitter from one shared stream so batched (fast) and
         # per-call (legacy) draws hand out identical values in event order.
         self._jitter_stream = (
-            _BatchedJitter(self._jitter_rng, self.config.access_jitter)
+            BlockDraws(self._jitter_rng, high=self.config.access_jitter, block=256)
             if fast_scheduling and self.config.access_jitter > 0
             else None
         )

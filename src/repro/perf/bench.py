@@ -12,7 +12,14 @@ and keeps it honest across PRs:
   tracing + dict-of-list monitors + per-packet access scheduling + the
   per-event link/RED/SACK network layer), which the flags preserve
   bit-for-bit;
-* per cell: engine-reported events/sec, wall seconds, and peak RSS;
+* since PR 6 a ``vector_sweep`` suite entry: the same
+  ``tfrc_equation_grid`` sweep run through the ``serial`` and ``vector``
+  executors, with ``speedup = serial_wall / vector_wall`` (gated like any
+  other suite entry -- both sides run the byte-identical workload, which
+  the bench asserts cell-for-cell);
+* per cell: engine-reported events/sec, wall seconds, cells/sec (the
+  sweep-facing rate: how many such grid cells one process finishes per
+  second), and peak RSS;
 * a ``speedup`` per scenario defined as ``legacy_wall / fast_wall``.  The
   two paths produce byte-identical traces (asserted in
   ``tests/test_endpoint_fastpath.py``), i.e. the simulated workload is the
@@ -226,6 +233,20 @@ BENCH_SCENARIOS: Dict[str, Callable] = {
     "red_sack_recovery": _red_sack_recovery,
 }
 
+#: the serial-vs-vector executor suite entry (PR 6); not a fast/legacy
+#: scenario pair, but it lives in ``suites[scale]`` with a ``speedup`` key
+#: so ``check_against_baseline`` gates it like every other entry.
+VECTOR_SWEEP = "vector_sweep"
+
+#: scale -> (rtt axis, loss-rate axis, seeds per config, cell duration).
+#: The full grid must stay >= 2048 cells: the lockstep kernel's dispatch
+#: overhead is fixed per step, so its advantage over serial grows with lane
+#: count, and the PR-6 acceptance number (>= 3x) needs the large grid.
+VECTOR_SWEEP_GRIDS = {
+    "smoke": ((0.08, 0.12), (0.02, 0.06), 256, 12.0),
+    "full": ((0.08, 0.12), (0.02, 0.03, 0.04, 0.06), 256, 45.0),
+}
+
 
 # ------------------------------------------------------------- measurement
 
@@ -264,6 +285,11 @@ def run_cell(
                 "wall_seconds": wall,
                 "events": sim.events_processed,
                 "events_per_sec": sim.events_processed / wall,
+                # One builder invocation is one sweep-grid cell, so this is
+                # the sweep-facing throughput axis (PR 6); events/sec above
+                # is kept unchanged for --check compatibility with the
+                # BENCH_PR2..PR5 trajectory files.
+                "cells_per_sec": 1.0 / wall,
                 "sim_seconds": duration,
                 **finalize(),
             }
@@ -284,6 +310,81 @@ def _run_cell_isolated(
         return pool.apply(run_cell, (scenario, scale, fast, repeats))
 
 
+def run_vector_sweep_bench(
+    scale: str = "smoke", repeats: int = 3, verbose: bool = False
+) -> JsonDict:
+    """Time a ``tfrc_equation_grid`` sweep on the serial vs vector executor.
+
+    Both executors run the identical spec grid (same seeds, no cache) and
+    the bench asserts the per-cell result dicts are equal -- the lockstep
+    kernel is bit-identical to the scalar one, so the wall-time ratio is a
+    pure cells/sec ratio on the same workload, gate-stable like the
+    fast/legacy speedups.  Executors are interleaved within each repeat so
+    box-wide slowdowns hit both sides; best wall per executor is kept.
+    """
+    from repro.scenarios import ScenarioSpec, SweepRunner
+
+    rtts, rates, seeds, duration = VECTOR_SWEEP_GRIDS[scale]
+    base = ScenarioSpec(
+        "tfrc_equation_grid",
+        topology={"bandwidth_bps": 1.5e6, "packet_size": 1000},
+        queue={"type": "red", "buffer_packets": 25},
+        duration=duration,
+    )
+    grid = {
+        "topology.rtt": list(rtts),
+        "loss.rate": list(rates),
+        "seed": list(range(seeds)),
+    }
+    n_cells = len(rtts) * len(rates) * seeds
+    walls = {"serial": float("inf"), "vector": float("inf")}
+    reference: Optional[List[JsonDict]] = None
+    for _ in range(repeats):
+        for name in ("serial", "vector"):
+            if verbose:
+                print(
+                    f"[tfrc-bench] {scale}/{VECTOR_SWEEP}/{name} "
+                    f"({n_cells} cells) ...",
+                    file=sys.stderr, flush=True,
+                )
+            gc.collect()
+            started = time.perf_counter()
+            sweep = SweepRunner(base, grid, executor=name).run()
+            wall = time.perf_counter() - started
+            assert len(sweep.cells) == n_cells
+            results = [cell.result for cell in sweep.cells]
+            if reference is None:
+                reference = results
+            elif results != reference:  # pragma: no cover - identity guard
+                raise AssertionError(
+                    f"executor {name!r} diverged from the serial reference "
+                    f"on the {scale} vector-sweep grid"
+                )
+            walls[name] = min(walls[name], wall)
+    out: JsonDict = {
+        "cells": n_cells,
+        "sim_seconds": duration,
+        "serial": {
+            "wall_seconds": walls["serial"],
+            "cells_per_sec": n_cells / walls["serial"],
+        },
+        "vector": {
+            "wall_seconds": walls["vector"],
+            "cells_per_sec": n_cells / walls["vector"],
+        },
+        "speedup": walls["serial"] / walls["vector"],
+    }
+    if verbose:
+        print(
+            f"[tfrc-bench] {scale}/{VECTOR_SWEEP}: serial "
+            f"{out['serial']['cells_per_sec']:,.0f} cells/s, vector "
+            f"{out['vector']['cells_per_sec']:,.0f} cells/s, "
+            f"speedup {out['speedup']:.2f}x",
+            file=sys.stderr, flush=True,
+        )
+    return out
+
+
 def run_suite(
     scale: str = "smoke",
     scenarios: Optional[List[str]] = None,
@@ -295,17 +396,28 @@ def run_suite(
 
     Each scenario block holds ``fast`` and ``legacy`` cells plus their
     ``speedup`` (legacy wall / fast wall -- the normalized events/sec
-    ratio, since both paths execute a byte-identical workload).
+    ratio, since both paths execute a byte-identical workload).  The
+    ``vector_sweep`` entry instead holds ``serial`` and ``vector`` executor
+    timings with ``speedup = serial_wall / vector_wall``.
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}")
-    names = scenarios if scenarios is not None else list(BENCH_SCENARIOS)
-    unknown = set(names) - set(BENCH_SCENARIOS)
+    names = (
+        scenarios
+        if scenarios is not None
+        else list(BENCH_SCENARIOS) + [VECTOR_SWEEP]
+    )
+    unknown = set(names) - set(BENCH_SCENARIOS) - {VECTOR_SWEEP}
     if unknown:
         raise ValueError(f"unknown scenarios: {sorted(unknown)}")
     runner = _run_cell_isolated if isolate else run_cell
     out: JsonDict = {}
     for name in names:
+        if name == VECTOR_SWEEP:
+            out[name] = run_vector_sweep_bench(
+                scale=scale, repeats=repeats, verbose=verbose
+            )
+            continue
         cells: JsonDict = {}
         for fast in (True, False):
             label = "fast" if fast else "legacy"
@@ -527,7 +639,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--scenario", action="append", metavar="NAME",
         help=f"restrict to specific scenarios (choices: "
-        f"{', '.join(BENCH_SCENARIOS)}); repeatable",
+        f"{', '.join(BENCH_SCENARIOS)}, {VECTOR_SWEEP}); repeatable",
     )
     parser.add_argument(
         "--repeats", type=int, default=3, metavar="N",

@@ -20,6 +20,9 @@ scenarios:
   (:mod:`~repro.scenarios.worker`).
 * :mod:`~repro.scenarios.cache` -- the on-disk JSON result cache keyed by
   spec hash (also the result transport for the file-queue executor).
+* :mod:`~repro.scenarios.vector` -- the ``tfrc_equation_grid`` scenario and
+  the ``vector`` executor, which advances compatible cells in lockstep
+  numpy batches (:mod:`repro.sim.vector_kernel`) with scalar fallback.
 """
 
 from repro.scenarios.builders import (
@@ -65,8 +68,18 @@ from repro.scenarios.sweep import (
     print_progress,
     run_single_cell,
 )
+from repro.scenarios.vector import (
+    EQUATION_GRID_SCENARIO,
+    VectorExecutor,
+    VectorFallbackWarning,
+    batch_key,
+    run_vector_batch,
+    spec_to_cell_params,
+    vector_capability,
+)
 
 __all__ = [
+    "EQUATION_GRID_SCENARIO",
     "EXECUTOR_NAMES",
     "CellCompletion",
     "ExecutorArg",
@@ -86,6 +99,9 @@ __all__ = [
     "SweepPlan",
     "SweepResult",
     "SweepRunner",
+    "VectorExecutor",
+    "VectorFallbackWarning",
+    "batch_key",
     "build_mixed_dumbbell",
     "get_scenario",
     "resolve_executor",
@@ -101,5 +117,8 @@ __all__ = [
     "run_single_cell",
     "run_single_tfrc_on_lossy_path",
     "run_tfrc_probe_path",
+    "run_vector_batch",
+    "spec_to_cell_params",
     "steady_state_window",
+    "vector_capability",
 ]

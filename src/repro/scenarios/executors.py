@@ -3,7 +3,10 @@
 :class:`~repro.scenarios.sweep.SweepRunner` expands a grid into cells and
 hands the cache-missing ones to a :class:`SweepExecutor`, which yields
 :class:`CellCompletion` records as cells finish (in completion order; the
-runner reassembles expansion order).  Three backends cover one host to many:
+runner reassembles expansion order).  Three backends here cover one host to
+many (a fourth, :class:`~repro.scenarios.vector.VectorExecutor`, advances
+compatible cells in lockstep numpy batches and lives in
+:mod:`repro.scenarios.vector`):
 
 * :class:`SerialExecutor` -- in-process, one cell at a time.
 * :class:`PoolExecutor` -- a ``concurrent.futures.ProcessPoolExecutor``
@@ -286,30 +289,38 @@ class FileQueue:
 
     # ------------------------------------------------------------- claim
 
-    def claim_next(self, worker_id: str) -> Optional[Tuple[Path, JsonDict]]:
-        """Atomically lease the first claimable task, or None if empty.
+    def claim_task(
+        self, task: Path, worker_id: str
+    ) -> Optional[Tuple[Path, JsonDict]]:
+        """Atomically lease one specific task file, or None if unclaimable.
 
         The ``tasks/ -> claims/`` rename is the mutual exclusion: exactly
-        one contender's rename succeeds; losers skip to the next task.
+        one contender's rename succeeds.  Corrupt payloads are dropped.
         """
+        claim = self.claims / task.name
+        try:
+            task.rename(claim)
+        except OSError:
+            return None  # another worker won the rename (or task vanished)
+        payload = _read_json(claim)
+        if payload is None or "key" not in payload:
+            claim.unlink(missing_ok=True)  # corrupt task: drop it
+            return None
+        # Stamp the lease with its holder so cleanup can verify
+        # ownership: a worker that stalls past the lease timeout,
+        # loses the claim to reclaim, and later resumes must not
+        # unlink the *replacement* worker's lease on this same path.
+        payload = dict(payload)
+        payload["worker"] = worker_id
+        _atomic_write_json(claim, payload)
+        return claim, payload
+
+    def claim_next(self, worker_id: str) -> Optional[Tuple[Path, JsonDict]]:
+        """Atomically lease the first claimable task, or None if empty."""
         for task in sorted(self.tasks.glob("*.json")):
-            claim = self.claims / task.name
-            try:
-                task.rename(claim)
-            except OSError:
-                continue  # another worker won the rename
-            payload = _read_json(claim)
-            if payload is None or "key" not in payload:
-                claim.unlink(missing_ok=True)  # corrupt task: drop it
-                continue
-            # Stamp the lease with its holder so cleanup can verify
-            # ownership: a worker that stalls past the lease timeout,
-            # loses the claim to reclaim, and later resumes must not
-            # unlink the *replacement* worker's lease on this same path.
-            payload = dict(payload)
-            payload["worker"] = worker_id
-            _atomic_write_json(claim, payload)
-            return claim, payload
+            claimed = self.claim_task(task, worker_id)
+            if claimed is not None:
+                return claimed
         return None
 
     def release_claim(self, claim: Path, worker_id: str) -> None:
@@ -774,7 +785,7 @@ ExecutorArg = Union[str, SweepExecutor]
 
 #: the valid ``executor=`` / ``--executor`` names, in one place (also used
 #: by SweepRunner validation and the experiment CLI's argparse choices).
-EXECUTOR_NAMES = ("serial", "pool", "queue")
+EXECUTOR_NAMES = ("serial", "pool", "queue", "vector")
 
 
 def resolve_executor(
@@ -806,6 +817,12 @@ def resolve_executor(
         if queue_dir is None:
             raise ValueError("executor 'queue' requires a queue_dir")
         return FileQueueExecutor(queue_dir, local_workers=max(0, parallel))
+    if executor == "vector":
+        # Imported here: repro.scenarios.vector imports this module for the
+        # SweepExecutor protocol, so a top-level import would be circular.
+        from repro.scenarios.vector import VectorExecutor
+
+        return VectorExecutor()
     raise ValueError(
         f"unknown executor {executor!r}; choose one of {EXECUTOR_NAMES} "
         f"or pass a SweepExecutor instance"

@@ -1,0 +1,233 @@
+"""The ``vector`` sweep executor and the ``tfrc_equation_grid`` scenario.
+
+The batched cell kernel (:mod:`repro.sim.vector_kernel`) advances N
+independent equation-grid cells in lockstep, but the sweep layer deals in
+:class:`~repro.scenarios.spec.ScenarioSpec` grids.  This module is the
+bridge:
+
+* ``tfrc_equation_grid`` -- a registered scenario whose spec fully resolves
+  to :class:`~repro.sim.vector_kernel.GridCellParams`; executed scalar
+  (:func:`~repro.sim.vector_kernel.run_cell_scalar`) when run like any
+  other scenario.
+* :func:`vector_capability` -- can this spec join a lockstep batch?
+  (``None`` = yes, otherwise a human-readable reason.)
+* :class:`VectorExecutor` -- a :class:`~repro.scenarios.executors.\
+SweepExecutor` that groups compatible cells into lockstep batches
+  (:func:`run_vector_batch`) and falls back to scalar execution -- with a
+  single :class:`VectorFallbackWarning` -- for everything else.
+
+Because the batch kernel is bit-identical to the scalar kernel, results
+reaching the :class:`~repro.scenarios.cache.ResultCache` are byte-identical
+no matter which executor ran the sweep; ``tests/test_vector_executor.py``
+pins this file-for-file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.net.redmath import RedParams
+from repro.scenarios.executors import (
+    CellCompletion,
+    SweepCellError,
+    SweepExecutor,
+    SweepPlan,
+)
+from repro.scenarios.spec import (
+    JsonDict,
+    ScenarioSpec,
+    register_scenario,
+    run_scenario,
+)
+from repro.sim.vector_kernel import (
+    GridCellParams,
+    run_cell_scalar,
+    run_cells_vector,
+)
+
+#: the scenario name the vector executor can batch.
+EQUATION_GRID_SCENARIO = "tfrc_equation_grid"
+
+#: spec paths a lockstep batch may vary (the spec-level mirror of
+#: :data:`repro.sim.vector_kernel.BATCH_AXES`).
+SPEC_BATCH_AXES = ("topology.rtt", "loss.rate", "seed")
+
+
+class VectorFallbackWarning(UserWarning):
+    """Some sweep cells could not be batched and ran on the scalar path."""
+
+
+# ----------------------------------------------------------- spec translation
+
+
+def spec_to_cell_params(spec: ScenarioSpec) -> GridCellParams:
+    """Resolve a ``tfrc_equation_grid`` spec into kernel primitives.
+
+    Spec layout (all numeric knobs optional, with the defaults below)::
+
+        topology: {rtt, bandwidth_bps, packet_size}
+        queue:    {type: "red"|"droptail", buffer_packets,
+                   red: {min_thresh, max_thresh, max_p, weight, gentle}}
+        loss:     {rate}
+        extra:    {measure_fraction, discounting, trace}
+    """
+    if spec.scenario != EQUATION_GRID_SCENARIO:
+        raise ValueError(
+            f"spec names scenario {spec.scenario!r}, "
+            f"not {EQUATION_GRID_SCENARIO!r}"
+        )
+    topo = dict(spec.topology)
+    queue = dict(spec.queue)
+    extra = dict(spec.extra)
+    queue_type = str(queue.get("type", "red"))
+    red: Optional[RedParams] = None
+    if queue_type == "red":
+        red_cfg = dict(queue.get("red", {}))
+        red = RedParams(
+            min_thresh=float(red_cfg.get("min_thresh", 5.0)),
+            max_thresh=float(red_cfg.get("max_thresh", 15.0)),
+            max_p=float(red_cfg.get("max_p", 0.1)),
+            weight=float(red_cfg.get("weight", 0.002)),
+            gentle=bool(red_cfg.get("gentle", True)),
+        )
+    return GridCellParams(
+        rtt=float(topo.get("rtt", 0.1)),
+        loss_rate=float(dict(spec.loss).get("rate", 0.0)),
+        seed=int(spec.seed),
+        duration=float(spec.duration),
+        bandwidth_bps=float(topo.get("bandwidth_bps", 1.5e6)),
+        packet_size=int(topo.get("packet_size", 1000)),
+        queue_type=queue_type,
+        buffer_packets=int(queue.get("buffer_packets", 25)),
+        red=red,
+        measure_fraction=float(extra.get("measure_fraction", 2.0 / 3.0)),
+        discounting=bool(extra.get("discounting", True)),
+        trace=bool(extra.get("trace", False)),
+    )
+
+
+@register_scenario(EQUATION_GRID_SCENARIO)
+def tfrc_equation_grid(spec: ScenarioSpec) -> JsonDict:
+    """One equation-grid cell, executed on the scalar reference kernel."""
+    return run_cell_scalar(spec_to_cell_params(spec))
+
+
+# ----------------------------------------------------------------- capability
+
+
+def vector_capability(spec: ScenarioSpec) -> Optional[str]:
+    """``None`` when ``spec`` can join a lockstep batch, else the reason.
+
+    The reason string is surfaced verbatim in the (single)
+    :class:`VectorFallbackWarning`, so keep it user-readable.
+    """
+    if spec.scenario != EQUATION_GRID_SCENARIO:
+        return (
+            f"scenario {spec.scenario!r} has no vector kernel "
+            f"(only {EQUATION_GRID_SCENARIO!r} does)"
+        )
+    if dict(spec.extra).get("trace"):
+        return "rate tracing (extra.trace) requires the scalar kernel"
+    try:
+        spec_to_cell_params(spec)
+    except (TypeError, ValueError) as exc:
+        return f"spec does not resolve to grid-cell params: {exc}"
+    return None
+
+
+def batch_key(spec: ScenarioSpec) -> str:
+    """Grouping key: the spec with the batch axes blanked out.
+
+    Cells sharing a key differ only in ``topology.rtt``, ``loss.rate``
+    and ``seed`` -- exactly what
+    :func:`repro.sim.vector_kernel.batchable` permits within one batch.
+    """
+    data = spec.to_dict()
+    data["topology"].pop("rtt", None)
+    data["loss"].pop("rate", None)
+    data["seed"] = None
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+# ------------------------------------------------------------ batch execution
+
+
+def run_vector_batch(specs: Sequence[ScenarioSpec]) -> List[JsonDict]:
+    """Run compatible specs as one lockstep batch; results in spec order.
+
+    A single-spec batch takes the scalar path directly: the lockstep
+    kernel's per-step dispatch overhead only amortizes across lanes.
+    """
+    if len(specs) == 1:
+        return [run_cell_scalar(spec_to_cell_params(specs[0]))]
+    return run_cells_vector([spec_to_cell_params(spec) for spec in specs])
+
+
+class VectorExecutor(SweepExecutor):
+    """Advance compatible sweep cells in lockstep batches.
+
+    Cells whose spec passes :func:`vector_capability` are grouped by
+    :func:`batch_key` and each group runs as one
+    :func:`~repro.sim.vector_kernel.run_cells_vector` call; the rest run
+    scalar, announced by one :class:`VectorFallbackWarning` naming the
+    first reason.  Per-cell ``elapsed_seconds`` within a batch is the
+    batch wall time split evenly (the lanes genuinely ran concurrently).
+    """
+
+    name = "vector"
+
+    def run_cells(self, plan: SweepPlan) -> Iterator[CellCompletion]:
+        batches: Dict[str, List[Any]] = {}
+        fallback: List[Tuple[Any, str]] = []
+        for cell in plan.cells:
+            reason = vector_capability(cell.spec)
+            if reason is None:
+                batches.setdefault(batch_key(cell.spec), []).append(cell)
+            else:
+                fallback.append((cell, reason))
+
+        if fallback:
+            warnings.warn(
+                f"{len(fallback)} of {len(plan.cells)} sweep cell(s) cannot "
+                f"run on the vector kernel and fall back to scalar "
+                f"execution; first reason: {fallback[0][1]}",
+                VectorFallbackWarning,
+                stacklevel=2,
+            )
+
+        for group in batches.values():
+            started = time.perf_counter()
+            try:
+                results = run_vector_batch([cell.spec for cell in group])
+            except Exception as exc:
+                cell = group[0]
+                raise SweepCellError(
+                    f"vector batch of {len(group)} cell(s) starting at "
+                    f"{cell.describe()} failed: {exc}",
+                    cell=cell,
+                    overrides=cell.overrides,
+                ) from exc
+            per_cell = (time.perf_counter() - started) / len(group)
+            for cell, result in zip(group, results):
+                yield CellCompletion(
+                    cell=cell, result=result, elapsed_seconds=per_cell
+                )
+
+        for cell, _reason in fallback:
+            started = time.perf_counter()
+            try:
+                result = run_scenario(cell.spec)
+            except Exception as exc:
+                raise SweepCellError(
+                    f"sweep cell {cell.describe()} failed: {exc}",
+                    cell=cell,
+                    overrides=cell.overrides,
+                ) from exc
+            yield CellCompletion(
+                cell=cell,
+                result=result,
+                elapsed_seconds=time.perf_counter() - started,
+            )

@@ -19,11 +19,20 @@ A failing cell is recorded under ``failures/`` and requeued until its
 ``max_attempts`` budget is spent; a worker killed mid-cell simply stops
 heartbeating and the coordinator reclaims the lease.
 
+With ``--vector-batch N`` a worker that claims a cell the lockstep kernel
+supports (see :func:`repro.scenarios.vector.vector_capability`) also claims
+up to ``N - 1`` further queued cells from the same batch group and advances
+them as one :func:`~repro.scenarios.vector.run_vector_batch` call --
+heartbeating every lease, and publishing per-cell completions/failures
+exactly as if the cells had run one at a time.  Results are bit-identical
+either way.
+
 Usage::
 
     tfrc-sweep-worker SHARED_DIR                    # serve until killed
     tfrc-sweep-worker SHARED_DIR --idle-timeout 60  # exit after 60s idle
     tfrc-sweep-worker SHARED_DIR --once             # drain, then exit
+    tfrc-sweep-worker SHARED_DIR --vector-batch 64  # lockstep batches
 """
 
 from __future__ import annotations
@@ -39,7 +48,7 @@ import traceback
 from typing import List, Optional
 
 from repro.scenarios.cache import ResultCache
-from repro.scenarios.executors import FileQueue
+from repro.scenarios.executors import FileQueue, _read_json
 from repro.scenarios.spec import ScenarioSpec, run_scenario
 
 
@@ -51,14 +60,69 @@ def _log(worker_id: str, message: str) -> None:
     print(f"[sweep-worker {worker_id}] {message}", file=sys.stderr, flush=True)
 
 
+def _claim_batch_mates(
+    fq: FileQueue, worker_id: str, primary: dict, limit: int
+) -> list:
+    """Lease up to ``limit`` queued tasks batchable with ``primary``.
+
+    A mate must name the same scenario module and cache directory, resolve
+    to a vector-capable spec, and share the primary's batch group (same
+    spec modulo the batch axes).  Task payloads are screened *before* the
+    claim rename, so incompatible tasks are never leased and released
+    (which would churn other workers' scans); the post-rename payload is
+    re-checked because an enqueue may have overwritten the task in between.
+    """
+    from repro.scenarios.vector import batch_key, vector_capability
+
+    try:
+        primary_spec = ScenarioSpec.from_dict(primary["spec"])
+        if vector_capability(primary_spec) is not None:
+            return []
+        group = batch_key(primary_spec)
+    except Exception:
+        return []
+
+    def compatible(payload: Optional[dict]) -> bool:
+        if not payload or payload.get("key") == primary["key"]:
+            return False
+        if payload.get("module") != primary["module"]:
+            return False
+        if payload.get("cache_dir") != primary["cache_dir"]:
+            return False
+        try:
+            spec = ScenarioSpec.from_dict(payload["spec"])
+            return (
+                vector_capability(spec) is None and batch_key(spec) == group
+            )
+        except Exception:
+            return False
+
+    mates = []
+    for task in sorted(fq.tasks.glob("*.json")):
+        if len(mates) >= limit:
+            break
+        if not compatible(_read_json(task)):
+            continue
+        claimed = fq.claim_task(task, worker_id)
+        if claimed is not None and compatible(claimed[1]):
+            mates.append(claimed)
+        elif claimed is not None:
+            # The task changed between screening and claiming: put it back.
+            fq.release_claim(claimed[0], worker_id)
+            fq.enqueue(claimed[1])
+    return mates
+
+
 def process_one(
     fq: FileQueue,
     *,
     worker_id: str,
     heartbeat_interval: float = 5.0,
     verbose: bool = True,
+    batch_limit: int = 1,
 ) -> Optional[bool]:
-    """Claim and execute one cell.
+    """Claim and execute one cell (or, with ``batch_limit`` > 1, one
+    lockstep batch of compatible cells).
 
     Returns True on success, False on a recorded failure, None when there
     was nothing claimable.
@@ -66,77 +130,117 @@ def process_one(
     claimed = fq.claim_next(worker_id)
     if claimed is None:
         return None
-    claim, payload = claimed
-    key = payload["key"]
-    attempts = int(payload.get("attempts", 0))
-    max_attempts = int(payload.get("max_attempts", 1))
+    claims = [claimed]
+    if batch_limit > 1:
+        claims.extend(
+            _claim_batch_mates(fq, worker_id, claimed[1], batch_limit - 1)
+        )
 
     stop = threading.Event()
 
     def beat() -> None:
         while not stop.wait(heartbeat_interval):
-            fq.heartbeat(claim)
+            for claim, _payload in claims:
+                fq.heartbeat(claim)
 
     heartbeater = threading.Thread(target=beat, daemon=True)
     heartbeater.start()
     started = time.perf_counter()
-    released = False
+    released = set()
+    completed = set()
     try:
-        importlib.import_module(payload["module"])
-        spec = ScenarioSpec.from_dict(payload["spec"])
-        cache = ResultCache(fq.resolve_cache_dir(payload["cache_dir"]))
-        cached = cache.get(spec) is not None
-        if cached:
-            elapsed = 0.0
-        else:
-            result = run_scenario(spec)
-            cache.put(spec, result)
-            elapsed = time.perf_counter() - started
-        fq.complete(
-            key,
-            worker=worker_id,
-            elapsed_seconds=elapsed,
-            attempts=attempts,
-            cached=cached,
-        )
-        if verbose:
-            source = "cache" if cached else f"{elapsed:.1f}s"
-            _log(worker_id, f"finished {key} ({source})")
+        importlib.import_module(claims[0][1]["module"])
+        pending = []  # (claim, payload, spec, cache) not yet in cache
+        for claim, payload in claims:
+            spec = ScenarioSpec.from_dict(payload["spec"])
+            cache = ResultCache(fq.resolve_cache_dir(payload["cache_dir"]))
+            if cache.get(spec) is not None:
+                fq.complete(
+                    payload["key"],
+                    worker=worker_id,
+                    elapsed_seconds=0.0,
+                    attempts=int(payload.get("attempts", 0)),
+                    cached=True,
+                )
+                completed.add(payload["key"])
+                if verbose:
+                    _log(worker_id, f"finished {payload['key']} (cache)")
+            else:
+                pending.append((claim, payload, spec, cache))
+        if pending:
+            specs = [spec for _claim, _payload, spec, _cache in pending]
+            if len(specs) > 1:
+                from repro.scenarios.vector import run_vector_batch
+
+                results = run_vector_batch(specs)
+            else:
+                results = [run_scenario(specs[0])]
+            # Lanes of a batch genuinely ran concurrently: split the wall
+            # time evenly, as the vector executor does.
+            elapsed = (time.perf_counter() - started) / len(pending)
+            for (claim, payload, spec, cache), result in zip(pending, results):
+                cache.put(spec, result)
+                fq.complete(
+                    payload["key"],
+                    worker=worker_id,
+                    elapsed_seconds=elapsed,
+                    attempts=int(payload.get("attempts", 0)),
+                    cached=False,
+                )
+                completed.add(payload["key"])
+                if verbose:
+                    batched = f", batch of {len(pending)}" if len(pending) > 1 else ""
+                    _log(
+                        worker_id,
+                        f"finished {payload['key']} ({elapsed:.1f}s{batched})",
+                    )
         return True
     except Exception:
+        # Stop heartbeating before any lease is released: a released path
+        # may be renamed onto by another worker's fresh claim, which our
+        # beat thread must not touch.
+        stop.set()
+        heartbeater.join()
         error = traceback.format_exc()
-        fq.record_failure(
-            key,
-            worker=worker_id,
-            kind="error",
-            error=error,
-            attempts=attempts + 1,
-        )
-        if attempts + 1 < max_attempts:
-            # Release the lease BEFORE republishing the task: enqueueing
-            # first opens a race where another worker claims the new task
-            # (rename onto our still-present claim path) and a later
-            # unlink of ours would delete *its* fresh lease.  For the same
-            # reason the final cleanup below must not touch the path again
-            # once it is released here.
-            stop.set()
-            heartbeater.join()
-            fq.release_claim(claim, worker_id)
-            released = True
-            payload["attempts"] = attempts + 1
-            fq.enqueue(payload)
-        if verbose:
-            _log(
-                worker_id,
-                f"cell {key} failed (attempt {attempts + 1}/{max_attempts}):\n"
-                f"{error}",
+        for claim, payload in claims:
+            key = payload["key"]
+            if key in completed:
+                continue
+            attempts = int(payload.get("attempts", 0))
+            max_attempts = int(payload.get("max_attempts", 1))
+            fq.record_failure(
+                key,
+                worker=worker_id,
+                kind="error",
+                error=error,
+                attempts=attempts + 1,
             )
+            if attempts + 1 < max_attempts:
+                # Release the lease BEFORE republishing the task:
+                # enqueueing first opens a race where another worker
+                # claims the new task (rename onto our still-present
+                # claim path) and a later unlink of ours would delete
+                # *its* fresh lease.  For the same reason the final
+                # cleanup below must not touch the path again once it is
+                # released here.
+                fq.release_claim(claim, worker_id)
+                released.add(key)
+                requeued = dict(payload)
+                requeued["attempts"] = attempts + 1
+                fq.enqueue(requeued)
+            if verbose:
+                _log(
+                    worker_id,
+                    f"cell {key} failed "
+                    f"(attempt {attempts + 1}/{max_attempts}):\n{error}",
+                )
         return False
     finally:
         stop.set()
         heartbeater.join()
-        if not released:
-            fq.release_claim(claim, worker_id)
+        for claim, payload in claims:
+            if payload["key"] not in released:
+                fq.release_claim(claim, worker_id)
 
 
 def drain(
@@ -149,6 +253,7 @@ def drain(
     max_cells: Optional[int] = None,
     once: bool = False,
     verbose: bool = True,
+    batch_limit: int = 1,
 ) -> int:
     """Serve ``queue_dir`` until an exit condition; returns cells executed.
 
@@ -166,6 +271,7 @@ def drain(
             worker_id=worker_id,
             heartbeat_interval=heartbeat_interval,
             verbose=verbose,
+            batch_limit=batch_limit,
         )
         if outcome is None:
             if once:
@@ -221,6 +327,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit as soon as the queue is found empty",
     )
     parser.add_argument(
+        "--vector-batch", type=int, default=1, metavar="N",
+        help="when a claimed cell supports the lockstep vector kernel, "
+        "also claim up to N-1 compatible queued cells and advance them "
+        "as one batch (default: 1 = one cell at a time)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell log lines"
     )
     args = parser.parse_args(argv)
@@ -230,6 +342,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--heartbeat must be > 0")
     if args.max_cells is not None and args.max_cells < 1:
         parser.error("--max-cells must be >= 1")
+    if args.vector_batch < 1:
+        parser.error("--vector-batch must be >= 1")
 
     worker_id = args.worker_id or default_worker_id()
     if not args.quiet:
@@ -243,6 +357,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_cells=args.max_cells,
         once=args.once,
         verbose=not args.quiet,
+        batch_limit=args.vector_batch,
     )
     if not args.quiet:
         _log(worker_id, f"exiting after {executed} cell(s)")
