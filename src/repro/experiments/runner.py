@@ -333,6 +333,23 @@ def main(argv=None) -> int:
         help="shared queue directory for --executor queue (results default "
         "to DIR/results unless --cache is given)",
     )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=60.0, metavar="S",
+        help="(--executor queue) reclaim a cell whose worker has not "
+        "heartbeaten for S seconds (default: 60)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="(--executor queue) retry budget per cell spanning errors, "
+        "timeouts, and lease expiries; an exhausted cell is dead-lettered "
+        "to the queue's quarantine/ directory (default: 3)",
+    )
+    parser.add_argument(
+        "--on-poison", choices=("raise", "quarantine"), default="raise",
+        help="(--executor queue) what an exhausted cell does to the sweep: "
+        "abort it ('raise', default) or skip the cell so the rest "
+        "completes ('quarantine'); tfrc-sweep-fsck audits the leftovers",
+    )
     args = parser.parse_args(argv)
     if args.parallel < (0 if args.executor == "queue" else 1):
         parser.error(
@@ -342,6 +359,10 @@ def main(argv=None) -> int:
         parser.error("--executor queue requires --queue-dir")
     if args.queue_dir is not None and args.executor != "queue":
         parser.error("--queue-dir only applies to --executor queue")
+    if args.lease_timeout <= 0:
+        parser.error("--lease-timeout must be > 0")
+    if args.max_attempts < 1:
+        parser.error("--max-attempts must be >= 1")
     sweep_kwargs = {}
     if args.parallel != 1 or args.cache is not None or args.executor:
         from repro.scenarios import print_progress
@@ -351,7 +372,19 @@ def main(argv=None) -> int:
             "cache_dir": args.cache,
             "progress": print_progress(),
         }
-        if args.executor:
+        if args.executor == "queue":
+            # Built directly (rather than resolved by name) so the
+            # robustness knobs reach the coordinator.
+            from repro.scenarios import FileQueueExecutor
+
+            sweep_kwargs["executor"] = FileQueueExecutor(
+                args.queue_dir,
+                local_workers=max(0, args.parallel),
+                lease_timeout=args.lease_timeout,
+                max_attempts=args.max_attempts,
+                on_poison=args.on_poison,
+            )
+        elif args.executor:
             sweep_kwargs["executor"] = args.executor
             sweep_kwargs["queue_dir"] = args.queue_dir
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -690,6 +690,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.check is None:
             parser.error("--check latest: no committed BENCH_PR<N>.json found")
 
+    from repro.scenarios import faults
+
+    if os.environ.get(faults.ENV_VAR) or faults.active() is not None:
+        # A chaos fault plan injects delays, stalls, and torn writes --
+        # numbers measured under one are meaningless and must never land
+        # in (or be checked against) a trajectory baseline.
+        parser.error(
+            f"a fault-injection plan is active ({faults.ENV_VAR} is set); "
+            f"refusing to benchmark under chaos testing"
+        )
+
     scales = list(SCALES) if args.suite == "all" else [args.suite]
     suites: Dict[str, JsonDict] = {}
     for scale in scales:

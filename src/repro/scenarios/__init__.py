@@ -19,10 +19,16 @@ scenarios:
   dead-worker reclaim) drained by ``tfrc-sweep-worker`` processes
   (:mod:`~repro.scenarios.worker`).
 * :mod:`~repro.scenarios.cache` -- the on-disk JSON result cache keyed by
-  spec hash (also the result transport for the file-queue executor).
+  spec hash, with checksummed durable entries and corrupt-entry
+  quarantine (also the result transport for the file-queue executor).
 * :mod:`~repro.scenarios.vector` -- the ``tfrc_equation_grid`` scenario and
   the ``vector`` executor, which advances compatible cells in lockstep
   numpy batches (:mod:`repro.sim.vector_kernel`) with scalar fallback.
+* :mod:`~repro.scenarios.faults` -- deterministic fault injection
+  (:class:`~repro.scenarios.faults.FaultPlan`) for chaos-testing the
+  sweep fabric.
+* :mod:`~repro.scenarios.fsck` -- the ``tfrc-sweep-fsck`` audit/repair
+  tool for queue directories and caches.
 """
 
 from repro.scenarios.builders import (
@@ -41,6 +47,8 @@ from repro.scenarios.builders import (
     steady_state_window,
 )
 from repro.scenarios.cache import ResultCache
+from repro.scenarios.faults import FaultInjectionError, FaultPlan, WorkerKilled
+from repro.scenarios.fsck import audit as fsck_audit
 from repro.scenarios.executors import (
     EXECUTOR_NAMES,
     CellCompletion,
@@ -83,8 +91,12 @@ __all__ = [
     "EXECUTOR_NAMES",
     "CellCompletion",
     "ExecutorArg",
+    "FaultInjectionError",
+    "FaultPlan",
     "FileQueue",
     "FileQueueExecutor",
+    "WorkerKilled",
+    "fsck_audit",
     "InternetPathRun",
     "MixedDumbbellResult",
     "PathProfile",

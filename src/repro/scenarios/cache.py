@@ -1,37 +1,116 @@
 """On-disk JSON result cache keyed by scenario spec hash.
 
 One file per cell: ``<cache_dir>/<scenario>-<hash>.json`` holding the spec
-(for human inspection / debugging) and its result.  Writes are atomic
-(tmp file + rename) so a sweep interrupted mid-write never leaves a
-corrupt entry, and corrupt/unreadable entries are treated as misses.
+(for human inspection / debugging), its result, and a ``checksum`` over
+both.  Writes are durable and atomic (tmp file + fsync + rename) so a
+sweep interrupted mid-write -- or a host losing power mid-commit -- never
+leaves a silently-trusted corrupt entry.  A corrupt entry found on read
+(truncated JSON, checksum mismatch, wrong shape) is **quarantined** into
+``<cache_dir>/quarantine/`` and reported as a miss, so the damaged cell is
+automatically re-executed instead of poisoning the sweep; missing files
+are plain misses.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import sys
 import uuid
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.scenarios import faults
 from repro.scenarios.spec import JsonDict, ScenarioSpec
 
+#: subdirectory (of the cache root) holding quarantined corrupt entries.
+QUARANTINE_DIRNAME = "quarantine"
 
-def atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+#: entry statuses returned by :meth:`ResultCache.get_status`.
+STATUS_HIT = "hit"
+STATUS_MISS = "miss"
+STATUS_CORRUPT = "corrupt"
+
+
+def atomic_write_json(
+    path: Path, payload: Dict[str, Any], *, durable: bool = True
+) -> None:
     """Write strict JSON (``allow_nan=False``) via tmp file + rename.
 
     The write is never observable half-done, and a failure (bad value,
-    full disk) never leaves the tmp file behind.  Shared by the result
-    cache and the file-queue executor protocol.
+    full disk) never leaves the tmp file behind.  With ``durable`` (the
+    default) the tmp file is fsynced **before** the rename -- without it a
+    crash between rename and writeback can leave a zero-length or torn
+    file at the *final* name, which readers would have to treat as
+    corruption instead of a clean miss.  Shared by the result cache and
+    the file-queue executor protocol.
     """
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}-{uuid.uuid4().hex[:8]}")
     try:
         with tmp.open("w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True, allow_nan=False)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
+        faults.on_atomic_write(path)
         tmp.replace(path)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+    if durable:
+        # Make the rename itself durable: fsync the directory entry.
+        # Best-effort -- not every filesystem/platform supports opening a
+        # directory for fsync, and losing only the rename (not the data)
+        # degrades to a clean cache miss.
+        try:
+            dir_fd = os.open(str(path.parent), os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(dir_fd)
+
+
+def payload_checksum(spec_dict: JsonDict, result: JsonDict) -> str:
+    """The entry checksum: sha256 over the canonical spec+result JSON."""
+    canonical = json.dumps(
+        {"result": result, "spec": spec_dict},
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def verify_entry(payload: Any) -> Optional[str]:
+    """Validate a parsed cache entry; None when intact, else the defect.
+
+    Entries written before checksums existed (no ``checksum`` key) are
+    accepted as long as their shape is right -- corruption in them is
+    undetectable anyway -- so old caches keep resuming sweeps.
+    """
+    if not isinstance(payload, dict):
+        return "entry is not a JSON object"
+    result = payload.get("result")
+    if not isinstance(result, dict):
+        return "entry has no result object"
+    spec_dict = payload.get("spec")
+    if not isinstance(spec_dict, dict):
+        return "entry has no spec object"
+    checksum = payload.get("checksum")
+    if checksum is None:
+        return None  # pre-checksum entry: shape is all we can verify
+    try:
+        expected = payload_checksum(spec_dict, result)
+    except ValueError:
+        return "entry is not canonicalizable strict JSON"
+    if checksum != expected:
+        return f"checksum mismatch (stored {checksum}, computed {expected})"
+    return None
 
 
 class ResultCache:
@@ -44,36 +123,112 @@ class ResultCache:
     def _path(self, spec: ScenarioSpec) -> Path:
         return self.root / f"{spec.scenario}-{spec.spec_hash()}.json"
 
+    def entry_path(self, spec: ScenarioSpec) -> Path:
+        """Where ``spec``'s entry lives (whether or not it exists yet)."""
+        return self._path(spec)
+
+    def serialize(self, spec: ScenarioSpec, result: JsonDict) -> JsonDict:
+        """The full checksummed entry payload :meth:`put` would write."""
+        spec_dict = spec.to_dict()
+        return {
+            "checksum": payload_checksum(spec_dict, result),
+            "result": result,
+            "spec": spec_dict,
+        }
+
+    # ---------------------------------------------------------------- reads
+
     def get(self, spec: ScenarioSpec) -> Optional[JsonDict]:
-        """The cached result for ``spec``, or None on a miss."""
+        """The cached result for ``spec``, or None on a miss.
+
+        A **corrupt** entry (unparseable, checksum-failing, or misshapen)
+        is also reported as a miss -- after being moved into the
+        quarantine directory with a warning -- so the caller re-executes
+        the damaged cell instead of trusting or crashing on it.
+        """
+        status, result, _ = self.get_status(spec)
+        if status == STATUS_CORRUPT:
+            self.quarantine(spec)
+            return None
+        return result
+
+    def get_status(
+        self, spec: ScenarioSpec
+    ) -> Tuple[str, Optional[JsonDict], Optional[str]]:
+        """``(status, result, defect)`` without side effects.
+
+        ``status`` is ``"hit"`` (result returned), ``"miss"`` (no file),
+        or ``"corrupt"`` (file present but damaged; ``defect`` says how).
+        """
         path = self._path(spec)
         try:
             with path.open("r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (OSError, ValueError):
-            return None
-        result = payload.get("result")
-        return result if isinstance(result, dict) else None
+        except OSError:
+            return STATUS_MISS, None, None
+        except ValueError as exc:
+            return STATUS_CORRUPT, None, f"unparseable JSON: {exc}"
+        defect = verify_entry(payload)
+        if defect is not None:
+            return STATUS_CORRUPT, None, defect
+        return STATUS_HIT, payload["result"], None
+
+    # --------------------------------------------------------------- writes
 
     def put(self, spec: ScenarioSpec, result: JsonDict) -> Path:
         """Store ``result`` for ``spec``; returns the entry's path.
 
         Entries are strict JSON (``allow_nan=False``, matching
-        :meth:`~repro.scenarios.spec.ScenarioSpec.canonical_json`): a NaN or
+        :meth:`~repro.scenarios.spec.ScenarioSpec.canonical_json`) with a
+        content checksum, committed via fsync-then-atomic-rename: a NaN or
         Infinity metric raises :class:`ValueError` instead of writing an
-        entry other strict parsers would reject.  A failed write (bad
-        value, full disk) never leaves the tmp file behind.
+        entry other strict parsers would reject, a failed write (bad
+        value, full disk) never leaves the tmp file behind, and a crash at
+        any point never leaves a zero-length or torn file at the committed
+        name.
         """
         path = self._path(spec)
-        payload = {"spec": spec.to_dict(), "result": result}
         try:
-            atomic_write_json(path, payload)
+            atomic_write_json(path, self.serialize(spec, result))
         except ValueError as exc:
             raise ValueError(
                 f"result for {spec.scenario} ({spec.spec_hash()}) is not "
                 f"strict JSON -- NaN/Infinity values cannot be cached: {exc}"
             ) from exc
         return path
+
+    # ----------------------------------------------------------- quarantine
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
+
+    def quarantine(self, spec: ScenarioSpec) -> Optional[Path]:
+        """Move ``spec``'s (corrupt) entry into quarantine; its new path.
+
+        Returns None when the entry vanished first (e.g. another process
+        quarantined it already).  The sweep then sees a plain miss and
+        re-executes the cell.
+        """
+        return self.quarantine_file(self._path(spec))
+
+    def quarantine_file(self, path: Path) -> Optional[Path]:
+        """Move one corrupt entry file into the quarantine directory."""
+        nonce = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        target = self.quarantine_dir / f"{path.name}.{nonce}"
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            path.rename(target)
+        except OSError:
+            return None  # already gone (raced with another reader)
+        print(
+            f"[result-cache] corrupt entry {path.name} quarantined to "
+            f"{target} (the cell will re-execute)",
+            file=sys.stderr,
+        )
+        return target
+
+    # -------------------------------------------------------------- surveys
 
     def entries(self) -> List[Dict[str, Any]]:
         """All readable cache entries (spec + result payloads)."""
@@ -85,6 +240,24 @@ class ResultCache:
             except (OSError, ValueError):
                 continue
         return found
+
+    def scan(self) -> List[Tuple[Path, Optional[str]]]:
+        """Audit every entry file: ``(path, defect-or-None)`` per entry.
+
+        Used by ``tfrc-sweep-fsck``; performs no quarantining itself.
+        """
+        report: List[Tuple[Path, Optional[str]]] = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except OSError:
+                continue  # vanished mid-scan
+            except ValueError as exc:
+                report.append((path, f"unparseable JSON: {exc}"))
+                continue
+            report.append((path, verify_entry(payload)))
+        return report
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))

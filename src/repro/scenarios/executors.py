@@ -16,17 +16,26 @@ compatible cells in lockstep numpy batches and lives in
   hosts, through a shared **queue directory**.  Coordination is plain
   files: claimable cell payloads in ``tasks/``, atomic-rename leases in
   ``claims/`` (the rename is the mutual exclusion; the claim file's mtime
-  is the worker's heartbeat), completion markers in ``done/``, and failure
-  records in ``failures/``.  Results land in the spec-hash
+  is the worker's heartbeat), completion markers in ``done/``, failure
+  records in ``failures/``, and a ``quarantine/`` dead-letter directory
+  for corrupt files and poison cells.  Results land in the spec-hash
   :class:`~repro.scenarios.cache.ResultCache`, so the coordinator assembles
   the sweep purely from cache and a crashed run resumes without
   recomputing finished cells.  Expired leases (dead workers) are reclaimed
-  by the coordinator; each cell has a retry budget (``max_attempts``)
-  spanning worker errors and lease expiries.
+  by the coordinator -- lease age is measured against the **queue
+  directory's own clock** (a coordinator-touched sentinel file), so clock
+  skew between hosts sharing the mount cannot reclaim a healthy worker's
+  lease; each cell has a retry budget (``max_attempts``) spanning worker
+  errors, timeouts, corrupt publications, and lease expiries.  A cell that
+  exhausts the budget is written to ``quarantine/`` with its failure
+  history, then either aborts the sweep (``on_poison="raise"``, the
+  default) or is skipped so the rest of the sweep completes
+  (``on_poison="quarantine"``).
 
 Every cell's spec -- including its seed -- is fixed at grid-expansion time,
-so all three backends produce byte-identical results for the same sweep
-(pinned by ``tests/test_executors.py``).
+so all backends produce byte-identical results for the same sweep (pinned
+by ``tests/test_executors.py``; ``tests/test_chaos.py`` re-pins it under a
+seeded :mod:`~repro.scenarios.faults` fault schedule).
 
 A cell failure surfaces as :class:`SweepCellError` naming the cell and its
 overrides; the runner attaches the partial :class:`SweepResult` (cached and
@@ -56,6 +65,7 @@ from typing import (
     Union,
 )
 
+from repro.scenarios import faults
 from repro.scenarios.cache import ResultCache, atomic_write_json
 from repro.scenarios.spec import JsonDict, ScenarioSpec, run_scenario
 
@@ -69,7 +79,10 @@ class SweepCellError(RuntimeError):
     ``cell``/``overrides`` name the failing grid point; ``partial`` is the
     :class:`~repro.scenarios.sweep.SweepResult` holding every cell that did
     finish (cached hits included), attached by the runner so a long sweep's
-    completed work survives the exception.
+    completed work survives the exception.  When the file-queue fabric
+    dead-lettered the cell, ``quarantine_path`` names its record under the
+    queue's ``quarantine/`` directory and ``failures`` carries the cell's
+    failure records (kind, worker, error) in order.
     """
 
     def __init__(
@@ -79,11 +92,15 @@ class SweepCellError(RuntimeError):
         cell: Optional["SweepCell"] = None,
         overrides: Optional[Dict[str, Any]] = None,
         partial: Optional["SweepResult"] = None,
+        failures: Optional[List[JsonDict]] = None,
+        quarantine_path: Optional[Path] = None,
     ) -> None:
         super().__init__(message)
         self.cell = cell
         self.overrides = dict(overrides or {})
         self.partial = partial
+        self.failures = list(failures or [])
+        self.quarantine_path = quarantine_path
 
 
 @dataclass
@@ -97,15 +114,25 @@ class SweepPlan:
 
 @dataclass
 class CellCompletion:
-    """One finished cell, yielded by executors in completion order."""
+    """One finished cell, yielded by executors in completion order.
+
+    ``result`` is None only for a **quarantined** poison cell (the queue
+    executor running with ``on_poison="quarantine"``): the cell exhausted
+    its retry budget, its dead-letter record landed in ``quarantine/``,
+    and the sweep moved on without it.
+    """
 
     cell: "SweepCell"
-    result: JsonDict
+    result: Optional[JsonDict]
     elapsed_seconds: float = 0.0
     worker: str = ""
     #: True when the result is already persisted in the sweep's cache
     #: (file-queue workers write the cache themselves).
     already_cached: bool = False
+    #: True when the cell was dead-lettered instead of finished.
+    quarantined: bool = False
+    #: last recorded failure message for a quarantined cell.
+    failure: str = ""
 
 
 class SweepExecutor:
@@ -232,8 +259,17 @@ class FileQueue:
                               mtime doubles as the worker heartbeat)
         done/<key>.json       completion markers (elapsed, worker, attempts)
         failures/<key>.<nonce>.json   one record per failed attempt
+        quarantine/           dead letters: corrupt task/claim files (moved
+                              here verbatim, named <key>.json.<nonce>) and
+                              poison-cell records (<key>.<nonce>.json with
+                              the cell's payload + failure history)
         results/              default ResultCache location (coordinator may
                               point the cache elsewhere)
+        .clock                coordinator-touched sentinel; its mtime is
+                              the queue directory's own notion of "now",
+                              used for lease-age checks so coordinator /
+                              worker clock skew cannot reclaim healthy
+                              leases on shared mounts
 
     A task payload carries everything a worker needs: the cell ``key``
     (``<scenario>-<spec_hash>``), the scenario's defining ``module``, the
@@ -249,11 +285,39 @@ class FileQueue:
         self.claims = self.root / "claims"
         self.done = self.root / "done"
         self.failures = self.root / "failures"
+        self.quarantine = self.root / "quarantine"
 
     def ensure(self) -> "FileQueue":
-        for directory in (self.tasks, self.claims, self.done, self.failures):
+        for directory in (
+            self.tasks,
+            self.claims,
+            self.done,
+            self.failures,
+            self.quarantine,
+        ):
             directory.mkdir(parents=True, exist_ok=True)
         return self
+
+    # -------------------------------------------------------------- clock
+
+    def fs_now(self) -> float:
+        """The queue directory's own notion of "now".
+
+        Touches a sentinel file and returns its resulting mtime: on a
+        shared (NFS-style) mount that timestamp comes from the fileserver
+        -- the same clock that stamps claim heartbeats -- so lease ages
+        computed against it are immune to wall-clock skew between the
+        coordinator and worker hosts.  Falls back to local time if the
+        sentinel cannot be touched (read-only snapshot etc.).
+        """
+        sentinel = self.root / ".clock"
+        try:
+            with open(sentinel, "a", encoding="utf-8"):
+                pass
+            os.utime(sentinel)
+            return sentinel.stat().st_mtime
+        except OSError:
+            return time.time()
 
     # ------------------------------------------------------------- paths
 
@@ -271,6 +335,13 @@ class FileQueue:
     def enqueue(self, payload: JsonDict) -> Path:
         """(Re-)publish a claimable task; atomic, last write wins."""
         path = self.task_path(payload["key"])
+        if faults.fires(
+            "corrupt_task_write",
+            payload["key"],
+            int(payload.get("attempts", 0)),
+        ):  # fault injection: a torn task publication
+            faults.write_torn(path, payload)
+            return path
         _atomic_write_json(path, payload)
         return path
 
@@ -295,7 +366,12 @@ class FileQueue:
         """Atomically lease one specific task file, or None if unclaimable.
 
         The ``tasks/ -> claims/`` rename is the mutual exclusion: exactly
-        one contender's rename succeeds.  Corrupt payloads are dropped.
+        one contender's rename succeeds.  A corrupt payload (torn
+        publication, bit rot) is **quarantined** -- moved verbatim into
+        ``quarantine/`` with a ``corrupt_task`` failure record -- so the
+        cell keeps a failure trail instead of silently vanishing from the
+        sweep; the coordinator's liveness backstop then republishes it
+        within the retry budget.
         """
         claim = self.claims / task.name
         try:
@@ -304,7 +380,15 @@ class FileQueue:
             return None  # another worker won the rename (or task vanished)
         payload = _read_json(claim)
         if payload is None or "key" not in payload:
-            claim.unlink(missing_ok=True)  # corrupt task: drop it
+            key = task.name[: -len(".json")] if task.name.endswith(".json") else task.name
+            self.quarantine_file(
+                claim,
+                key=key,
+                kind="corrupt_task",
+                worker=worker_id,
+                error=f"task payload {task.name} is corrupt or truncated; "
+                f"quarantined for inspection",
+            )
             return None
         # Stamp the lease with its holder so cleanup can verify
         # ownership: a worker that stalls past the lease timeout,
@@ -313,6 +397,14 @@ class FileQueue:
         payload = dict(payload)
         payload["worker"] = worker_id
         _atomic_write_json(claim, payload)
+        skewed = faults.skewed_claim_time(
+            payload["key"], int(payload.get("attempts", 0))
+        )
+        if skewed is not None:  # fault injection: skewed worker clock
+            try:
+                os.utime(claim, (skewed, skewed))
+            except OSError:
+                pass
         return claim, payload
 
     def claim_next(self, worker_id: str) -> Optional[Tuple[Path, JsonDict]]:
@@ -423,6 +515,79 @@ class FileQueue:
                 records.append(payload)
         return records
 
+    # --------------------------------------------------------- quarantine
+
+    def quarantine_file(
+        self, path: Path, *, key: str, kind: str, error: str, worker: str = ""
+    ) -> Optional[Path]:
+        """Dead-letter a corrupt file: move it verbatim into
+        ``quarantine/`` and record a failure of ``kind`` for ``key``.
+
+        Returns the quarantined path, or None when the file vanished
+        first (another contender quarantined or reclaimed it).
+        """
+        nonce = f"{time.time_ns():x}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        target = self.quarantine / f"{path.name}.{nonce}"
+        try:
+            self.quarantine.mkdir(parents=True, exist_ok=True)
+            path.rename(target)
+        except OSError:
+            return None
+        self.record_failure(
+            key,
+            worker=worker,
+            kind=kind,
+            error=error,
+            attempts=self.failure_count(key) + 1,
+        )
+        return target
+
+    def quarantine_cell(
+        self,
+        key: str,
+        *,
+        kind: str,
+        payload: Optional[JsonDict] = None,
+        failures: Optional[List[JsonDict]] = None,
+    ) -> Path:
+        """Write a poison cell's dead-letter record (payload + history)."""
+        nonce = f"{time.time_ns():x}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        target = self.quarantine / f"{key}.{nonce}.json"
+        self.quarantine.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            target,
+            {
+                "key": key,
+                "kind": kind,
+                "task": payload,
+                "failures": list(failures or []),
+            },
+        )
+        return target
+
+    def quarantined_keys(self) -> "set[str]":
+        """Cell keys with any quarantine entry, in one directory scan.
+
+        Covers both entry shapes: poison records (``<key>.<nonce>.json``)
+        and verbatim corrupt files (``<key>.json.<nonce>``).
+        """
+        keys: "set[str]" = set()
+        try:
+            names = os.listdir(self.quarantine)
+        except OSError:
+            return keys
+        for name in names:
+            if ".json." in name:  # verbatim corrupt file
+                keys.add(name.split(".json.", 1)[0])
+            elif name.endswith(".json"):  # poison record
+                keys.add(name[: -len(".json")].rsplit(".", 1)[0])
+        return keys
+
+    def clear_quarantine(self, key: str) -> None:
+        """Forget a cell's dead letters (fresh enqueue = fresh budget)."""
+        for path in list(self.quarantine.glob(f"{key}.*")):
+            path.unlink(missing_ok=True)
+
 
 class FileQueueExecutor(SweepExecutor):
     """Coordinate sweep cells across worker processes via a queue directory.
@@ -430,11 +595,18 @@ class FileQueueExecutor(SweepExecutor):
     The coordinator enqueues the pending cells, optionally spawns
     ``local_workers`` ``tfrc-sweep-worker`` subprocesses, and then only
     watches the queue: completions are read from ``done/`` markers plus the
-    result cache, stale leases (claim mtime older than ``lease_timeout``)
-    are reclaimed and requeued, and a cell whose failure count reaches
-    ``max_attempts`` aborts the sweep with :class:`SweepCellError`.  Any
-    externally started workers -- other terminals, other hosts sharing the
-    directory -- drain the same queue concurrently.
+    result cache, stale leases (claim age measured against the queue
+    directory's own clock, :meth:`FileQueue.fs_now`) are reclaimed and
+    requeued, and a cell whose failure count reaches ``max_attempts`` is
+    dead-lettered into ``quarantine/`` -- then either aborts the sweep
+    with :class:`SweepCellError` (``on_poison="raise"``, the default) or
+    is skipped as a quarantined :class:`CellCompletion` so the remaining
+    cells still finish (``on_poison="quarantine"``).  Any externally
+    started workers -- other terminals, other hosts sharing the directory
+    -- drain the same queue concurrently.
+
+    ``vector_batch``/``cell_timeout`` are forwarded to locally spawned
+    workers as ``--vector-batch`` / ``--cell-timeout``.
     """
 
     name = "queue"
@@ -448,6 +620,9 @@ class FileQueueExecutor(SweepExecutor):
         poll_interval: float = 0.1,
         max_attempts: int = 3,
         stall_warning: float = 30.0,
+        on_poison: str = "raise",
+        vector_batch: int = 1,
+        cell_timeout: Optional[float] = None,
     ) -> None:
         if local_workers < 0:
             raise ValueError("local_workers must be >= 0")
@@ -455,12 +630,21 @@ class FileQueueExecutor(SweepExecutor):
             raise ValueError("lease_timeout must be > 0")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if on_poison not in ("raise", "quarantine"):
+            raise ValueError("on_poison must be 'raise' or 'quarantine'")
+        if vector_batch < 1:
+            raise ValueError("vector_batch must be >= 1")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be > 0")
         self.queue_dir = Path(queue_dir)
         self.local_workers = local_workers
         self.lease_timeout = lease_timeout
         self.poll_interval = poll_interval
         self.max_attempts = max_attempts
         self.stall_warning = stall_warning
+        self.on_poison = on_poison
+        self.vector_batch = vector_batch
+        self.cell_timeout = cell_timeout
 
     # ----------------------------------------------------- local workers
 
@@ -474,6 +658,20 @@ class FileQueueExecutor(SweepExecutor):
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
         heartbeat = max(0.05, min(self.lease_timeout / 4.0, 5.0))
+        args = [
+            "--poll-interval",
+            str(max(0.02, self.poll_interval / 2.0)),
+            # Keep idle backoff bounded well below the lease timeout so
+            # cells requeued after a reclaim are picked up promptly.
+            "--max-poll-interval",
+            str(max(0.1, min(1.0, self.lease_timeout / 4.0))),
+            "--heartbeat",
+            str(heartbeat),
+        ]
+        if self.vector_batch > 1:
+            args += ["--vector-batch", str(self.vector_batch)]
+        if self.cell_timeout is not None:
+            args += ["--cell-timeout", str(self.cell_timeout)]
         procs = []
         for index in range(self.local_workers):
             procs.append(
@@ -485,10 +683,7 @@ class FileQueueExecutor(SweepExecutor):
                         str(self.queue_dir),
                         "--worker-id",
                         f"local-{os.getpid()}-{index}",
-                        "--poll-interval",
-                        str(max(0.02, self.poll_interval / 2.0)),
-                        "--heartbeat",
-                        str(heartbeat),
+                        *args,
                     ],
                     env=env,
                 )
@@ -525,8 +720,16 @@ class FileQueueExecutor(SweepExecutor):
         remaining: Dict[str, List["SweepCell"]],
         cache_dir: str,
     ) -> None:
-        """Requeue cells whose lease went stale (worker died mid-cell)."""
-        now = time.time()
+        """Requeue cells whose lease went stale (worker died mid-cell).
+
+        Lease age is ``fs_now() - claim mtime``: both timestamps come from
+        the filesystem holding the queue directory, so on a shared mount
+        the comparison uses the fileserver's clock on both sides.
+        Comparing against the coordinator's local wall clock instead would
+        let clock skew between hosts reclaim a healthy worker's lease the
+        moment it was taken (pinned by ``tests/test_chaos.py``).
+        """
+        now = fq.fs_now()
         for key, cells in remaining.items():
             claim = fq.claim_path(key)
             try:
@@ -587,8 +790,10 @@ class FileQueueExecutor(SweepExecutor):
             # decision (driven by the payload's `attempts`) must agree
             # with the coordinator's record count -- leftover state with
             # spent attempts but cleared records (or vice versa) can
-            # otherwise strand a cell forever.
+            # otherwise strand a cell forever.  Dead letters from the
+            # earlier run are cleared with the records they summarize.
             fq.clear_failures(key)
+            fq.clear_quarantine(key)
             if fq.claim_path(key).exists():
                 # A worker (possibly from a previous run) may still be on
                 # it; completion or lease expiry will resolve the claim.
@@ -607,6 +812,7 @@ class FileQueueExecutor(SweepExecutor):
             fq.enqueue(self._payload(cells[0], cache_dir, 0))
 
         procs = self._spawn_local_workers()
+        quarantined_keys: List[str] = []
         last_progress = time.monotonic()
         stall_warned = False
         dead_worker_rounds = 0
@@ -624,23 +830,42 @@ class FileQueueExecutor(SweepExecutor):
                     marker = fq.read_done(key)
                     if marker is None:
                         continue
-                    result = cache.get(remaining[key][0].spec)
-                    if result is None:
+                    status, result, defect = cache.get_status(
+                        remaining[key][0].spec
+                    )
+                    if status != "hit":
                         # Marker landed but the result did not reach *this*
-                        # cache.  Counts against the retry budget: with a
-                        # cache the workers cannot actually share (e.g.
-                        # --cache outside the queue dir on a multi-host
-                        # run) every attempt ends here, and without the
-                        # budget the cell would re-execute forever.
+                        # cache intact.  A corrupt entry (torn worker
+                        # write) is quarantined for inspection; either way
+                        # the attempt counts against the retry budget:
+                        # with a cache the workers cannot actually share
+                        # (e.g. --cache outside the queue dir on a
+                        # multi-host run) every attempt ends here, and
+                        # without the budget the cell would re-execute
+                        # forever.
+                        if status == "corrupt":
+                            cache.quarantine(remaining[key][0].spec)
+                            kind = "corrupt_result"
+                            error = (
+                                f"done marker published but the cached "
+                                f"result is corrupt ({defect}); entry "
+                                f"quarantined, cell re-executes"
+                            )
+                        else:
+                            kind = "missing_result"
+                            error = (
+                                "done marker published but no readable "
+                                "cached result on the coordinator -- is "
+                                "the cache directory shared with the "
+                                "workers?"
+                            )
                         fq.done_path(key).unlink(missing_ok=True)
                         attempts = fq.failure_count(key) + 1
                         fq.record_failure(
                             key,
                             worker=str(marker.get("worker", "unknown")),
-                            kind="missing_result",
-                            error="done marker published but no readable "
-                            "cached result on the coordinator -- is the "
-                            "cache directory shared with the workers?",
+                            kind=kind,
+                            error=error,
                             attempts=attempts,
                         )
                         if attempts < self.max_attempts:
@@ -650,6 +875,11 @@ class FileQueueExecutor(SweepExecutor):
                                 )
                             )
                         continue
+                    # A task republished by lease reclaim (or the liveness
+                    # backstop) may linger after a duplicate execution
+                    # completed the cell; withdraw it so workers stop
+                    # re-claiming finished work.
+                    fq.task_path(key).unlink(missing_ok=True)
                     for cell in remaining.pop(key):
                         yield CellCompletion(
                             cell=cell,
@@ -679,7 +909,7 @@ class FileQueueExecutor(SweepExecutor):
                     self._reclaim_expired(fq, remaining, cache_dir)
 
                     failure_counts = fq.failure_counts()
-                    for key in remaining:
+                    for key in list(remaining):
                         failures = failure_counts.get(key, 0)
                         if failures >= self.max_attempts:
                             records = fq.read_failures(key)
@@ -687,14 +917,45 @@ class FileQueueExecutor(SweepExecutor):
                             detail = str(
                                 last.get("error", "")
                             ).strip().splitlines()
+                            last_error = (
+                                detail[-1] if detail else "unrecorded"
+                            )
                             cell = remaining[key][0]
+                            # Dead-letter the poison cell: its payload plus
+                            # full failure history land in quarantine/ so
+                            # the evidence survives whichever policy runs
+                            # next, and the task file is withdrawn so
+                            # workers stop burning attempts on it.
+                            qpath = fq.quarantine_cell(
+                                key,
+                                kind="retry_budget_exhausted",
+                                payload=self._payload(
+                                    cell, cache_dir, failures
+                                ),
+                                failures=records,
+                            )
+                            fq.task_path(key).unlink(missing_ok=True)
+                            if self.on_poison == "quarantine":
+                                for cell in remaining.pop(key):
+                                    yield CellCompletion(
+                                        cell=cell,
+                                        result=None,
+                                        quarantined=True,
+                                        failure=last_error,
+                                    )
+                                quarantined_keys.append(key)
+                                last_progress = time.monotonic()
+                                continue
                             raise SweepCellError(
                                 f"sweep cell {cell.describe()} failed "
                                 f"{failures} time(s) on the file queue "
                                 f"(budget {self.max_attempts}); last error: "
-                                f"{detail[-1] if detail else 'unrecorded'}",
+                                f"{last_error}; dead-letter record: "
+                                f"{qpath}",
                                 cell=cell,
                                 overrides=cell.overrides,
+                                failures=records,
+                                quarantine_path=qpath,
                             )
 
                     # Liveness backstop: a cell no queue state tracks at
@@ -771,6 +1032,15 @@ class FileQueueExecutor(SweepExecutor):
             for key in remaining:
                 fq.task_path(key).unlink(missing_ok=True)
             raise
+        else:
+            if quarantined_keys:
+                print(
+                    f"[sweep-queue] {len(quarantined_keys)} poison cell(s) "
+                    f"quarantined in {fq.quarantine} (retry budget "
+                    f"{self.max_attempts} exhausted): "
+                    f"{', '.join(sorted(quarantined_keys))}",
+                    file=sys.stderr,
+                )
         finally:
             self._stop_workers(procs)
 

@@ -64,6 +64,11 @@ class SweepCell:
     result: Optional[JsonDict] = None
     from_cache: bool = False
     elapsed_seconds: float = 0.0
+    #: the cell exhausted its retry budget and was dead-lettered (queue
+    #: executor with ``on_poison="quarantine"``); ``result`` is None and
+    #: ``failure`` summarizes the last recorded error.
+    quarantined: bool = False
+    failure: str = ""
 
     def describe(self) -> str:
         def short(value: Any) -> str:
@@ -86,6 +91,11 @@ class SweepResult:
     @property
     def cache_hits(self) -> int:
         return sum(1 for cell in self.cells if cell.from_cache)
+
+    @property
+    def quarantined(self) -> List[SweepCell]:
+        """Poison cells dead-lettered instead of finishing (no result)."""
+        return [cell for cell in self.cells if cell.quarantined]
 
 
 class SweepRunner:
@@ -230,7 +240,10 @@ class SweepRunner:
                 cell = completion.cell
                 cell.result = completion.result
                 cell.elapsed_seconds = completion.elapsed_seconds
-                if not completion.already_cached:
+                if completion.quarantined:
+                    cell.quarantined = True
+                    cell.failure = completion.failure
+                elif not completion.already_cached:
                     self._finish(cell)
                 done += 1
                 if self.progress:

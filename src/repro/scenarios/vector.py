@@ -203,6 +203,23 @@ class VectorExecutor(SweepExecutor):
             try:
                 results = run_vector_batch([cell.spec for cell in group])
             except Exception as exc:
+                # Graceful degradation: one poison lane must not fail all
+                # N.  Split the batch and retry every member on the scalar
+                # path; only a cell that *also* fails scalar raises (from
+                # the loop below), now correctly attributed to itself.
+                if len(group) > 1:
+                    warnings.warn(
+                        f"vector batch of {len(group)} cell(s) failed in "
+                        f"lockstep ({exc}); retrying each cell on the "
+                        f"scalar path",
+                        VectorFallbackWarning,
+                        stacklevel=2,
+                    )
+                    fallback.extend(
+                        (cell, f"lockstep batch failed: {exc}")
+                        for cell in group
+                    )
+                    continue
                 cell = group[0]
                 raise SweepCellError(
                     f"vector batch of {len(group)} cell(s) starting at "

@@ -17,7 +17,12 @@ mounting the same directory -- and each repeatedly:
 
 A failing cell is recorded under ``failures/`` and requeued until its
 ``max_attempts`` budget is spent; a worker killed mid-cell simply stops
-heartbeating and the coordinator reclaims the lease.
+heartbeating and the coordinator reclaims the lease.  ``--cell-timeout``
+bounds a single cell's wall-clock execution (a hung simulation becomes a
+``timeout`` failure record instead of a worker that never returns), and
+idle workers poll the queue with exponential backoff plus jitter up to
+``--max-poll-interval`` so a large idle fleet does not hammer a shared
+mount in sync.
 
 With ``--vector-batch N`` a worker that claims a cell the lockstep kernel
 supports (see :func:`repro.scenarios.vector.vector_capability`) also claims
@@ -25,7 +30,14 @@ up to ``N - 1`` further queued cells from the same batch group and advances
 them as one :func:`~repro.scenarios.vector.run_vector_batch` call --
 heartbeating every lease, and publishing per-cell completions/failures
 exactly as if the cells had run one at a time.  Results are bit-identical
-either way.
+either way.  A batch that fails in lockstep **splits**: each member cell
+is retried on the scalar path in-place, so one poison lane costs one cell,
+not N.
+
+Under an installed :class:`~repro.scenarios.faults.FaultPlan` (chaos
+testing only; see :mod:`repro.scenarios.faults`) the worker additionally
+honors the ``worker_kill`` / ``batch_kill`` / ``torn_cache_write`` /
+``heartbeat_stall`` / ``clock_skew`` fault sites.
 
 Usage::
 
@@ -33,6 +45,7 @@ Usage::
     tfrc-sweep-worker SHARED_DIR --idle-timeout 60  # exit after 60s idle
     tfrc-sweep-worker SHARED_DIR --once             # drain, then exit
     tfrc-sweep-worker SHARED_DIR --vector-batch 64  # lockstep batches
+    tfrc-sweep-worker SHARED_DIR --cell-timeout 900 # bound hung cells
 """
 
 from __future__ import annotations
@@ -40,16 +53,21 @@ from __future__ import annotations
 import argparse
 import importlib
 import os
+import random
+import signal
 import socket
 import sys
 import threading
 import time
 import traceback
-from typing import List, Optional
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
 
+from repro.scenarios import faults
 from repro.scenarios.cache import ResultCache
 from repro.scenarios.executors import FileQueue, _read_json
-from repro.scenarios.spec import ScenarioSpec, run_scenario
+from repro.scenarios.spec import JsonDict, ScenarioSpec, run_scenario
 
 
 def default_worker_id() -> str:
@@ -58,6 +76,44 @@ def default_worker_id() -> str:
 
 def _log(worker_id: str, message: str) -> None:
     print(f"[sweep-worker {worker_id}] {message}", file=sys.stderr, flush=True)
+
+
+class CellTimeout(Exception):
+    """A cell exceeded the worker's ``--cell-timeout`` wall-clock bound."""
+
+
+@contextmanager
+def _cell_alarm(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`CellTimeout` in the body after ``seconds`` of wall time.
+
+    Implemented with ``SIGALRM``/``setitimer``, which only works in the
+    main thread of the main interpreter; elsewhere (or on platforms
+    without ``SIGALRM``, or with no bound set) this is a no-op -- the
+    timeout is an operational guard for real worker processes, not a hard
+    real-time contract.
+    """
+    if (
+        seconds is None
+        or seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise CellTimeout(
+            f"cell execution exceeded the {seconds:.1f}s wall-clock bound "
+            f"(--cell-timeout)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _claim_batch_mates(
@@ -71,6 +127,12 @@ def _claim_batch_mates(
     claim rename, so incompatible tasks are never leased and released
     (which would churn other workers' scans); the post-rename payload is
     re-checked because an enqueue may have overwritten the task in between.
+
+    **Suspected-poison isolation**: a retried cell (``attempts > 0``) is
+    never batched -- not as a mate, and not as a primary (enforced by the
+    caller).  A cell that already took a batch down with it would
+    otherwise keep spending its innocent mates' retry budgets on every
+    round; solo retries bound the blast radius to the cell itself.
     """
     from repro.scenarios.vector import batch_key, vector_capability
 
@@ -85,6 +147,8 @@ def _claim_batch_mates(
     def compatible(payload: Optional[dict]) -> bool:
         if not payload or payload.get("key") == primary["key"]:
             return False
+        if int(payload.get("attempts", 0)) > 0:
+            return False  # suspected poison: retries run solo
         if payload.get("module") != primary["module"]:
             return False
         if payload.get("cache_dir") != primary["cache_dir"]:
@@ -113,6 +177,111 @@ def _claim_batch_mates(
     return mates
 
 
+def _fail_cell(
+    fq: FileQueue,
+    claim: Path,
+    payload: dict,
+    *,
+    worker_id: str,
+    kind: str,
+    error: str,
+    released: set,
+    verbose: bool,
+) -> None:
+    """Record one cell's failure; requeue it while its budget lasts."""
+    key = payload["key"]
+    attempts = int(payload.get("attempts", 0))
+    max_attempts = int(payload.get("max_attempts", 1))
+    fq.record_failure(
+        key,
+        worker=worker_id,
+        kind=kind,
+        error=error,
+        attempts=attempts + 1,
+    )
+    if attempts + 1 < max_attempts:
+        # Release the lease BEFORE republishing the task: enqueueing first
+        # opens a race where another worker claims the new task (rename
+        # onto our still-present claim path) and a later unlink of ours
+        # would delete *its* fresh lease.  For the same reason the final
+        # cleanup in process_one must not touch the path again once it is
+        # released here.
+        fq.release_claim(claim, worker_id)
+        released.add(key)
+        requeued = dict(payload)
+        requeued["attempts"] = attempts + 1
+        fq.enqueue(requeued)
+    if verbose:
+        _log(
+            worker_id,
+            f"cell {key} failed "
+            f"(attempt {attempts + 1}/{max_attempts}, {kind}):\n{error}",
+        )
+
+
+def _execute_pending(
+    pending: list,
+    *,
+    worker_id: str,
+    cell_timeout: Optional[float],
+    verbose: bool,
+) -> List[Tuple[Optional[JsonDict], Optional[Tuple[str, str]]]]:
+    """Run the not-yet-cached cells; per cell ``(result, error-or-None)``.
+
+    ``error`` is ``(kind, detail)`` -- ``kind`` is the failure-record kind
+    (``"timeout"`` for a :class:`CellTimeout`, else ``"error"``).  Multiple
+    cells first try one lockstep vector batch; a batch that fails (any
+    exception, including a timeout) **splits** and every member retries on
+    the scalar path in-place, so a single poison lane fails one cell
+    instead of all N.  :class:`~repro.scenarios.faults.WorkerKilled`
+    (chaos testing) always propagates -- a killed worker runs nothing.
+    """
+    specs = [spec for _claim, _payload, spec, _cache in pending]
+    if len(specs) > 1:
+        # batch_kill is evaluated per member cell: a batch containing any
+        # marked cell dies whole (one process ran all N lanes).
+        for _claim, payload, _spec, _cache in pending:
+            if faults.fires(
+                "batch_kill", payload["key"], int(payload.get("attempts", 0))
+            ):
+                raise faults.WorkerKilled(
+                    f"batch_kill on {payload['key']} mid lockstep batch "
+                    f"of {len(specs)}"
+                )
+        try:
+            with _cell_alarm(cell_timeout):
+                results = run_vector_batch_import()(specs)
+            return [(result, None) for result in results]
+        except faults.WorkerKilled:
+            raise
+        except Exception:
+            if verbose:
+                _log(
+                    worker_id,
+                    f"lockstep batch of {len(specs)} failed; splitting to "
+                    f"scalar retry:\n{traceback.format_exc()}",
+                )
+    outcomes: List[Tuple[Optional[JsonDict], Optional[Tuple[str, str]]]] = []
+    for _claim, _payload, spec, _cache in pending:
+        try:
+            with _cell_alarm(cell_timeout):
+                outcomes.append((run_scenario(spec), None))
+        except faults.WorkerKilled:
+            raise
+        except CellTimeout as exc:
+            outcomes.append((None, ("timeout", str(exc))))
+        except Exception:
+            outcomes.append((None, ("error", traceback.format_exc())))
+    return outcomes
+
+
+def run_vector_batch_import():
+    """Late import hook (vector imports executors; avoid import cycles)."""
+    from repro.scenarios.vector import run_vector_batch
+
+    return run_vector_batch
+
+
 def process_one(
     fq: FileQueue,
     *,
@@ -120,35 +289,62 @@ def process_one(
     heartbeat_interval: float = 5.0,
     verbose: bool = True,
     batch_limit: int = 1,
+    cell_timeout: Optional[float] = None,
 ) -> Optional[bool]:
     """Claim and execute one cell (or, with ``batch_limit`` > 1, one
     lockstep batch of compatible cells).
 
-    Returns True on success, False on a recorded failure, None when there
-    was nothing claimable.
+    Returns True on success, False on a recorded failure (or a simulated
+    worker kill), None when there was nothing claimable.
     """
     claimed = fq.claim_next(worker_id)
     if claimed is None:
         return None
     claims = [claimed]
-    if batch_limit > 1:
+    if batch_limit > 1 and int(claimed[1].get("attempts", 0)) == 0:
         claims.extend(
             _claim_batch_mates(fq, worker_id, claimed[1], batch_limit - 1)
         )
 
     stop = threading.Event()
+    stall_until: dict = {}
 
     def beat() -> None:
         while not stop.wait(heartbeat_interval):
-            for claim, _payload in claims:
+            for claim, payload in claims:
+                key = payload["key"]
+                attempt = int(payload.get("attempts", 0))
+                if faults.active() is not None:
+                    stall = faults.heartbeat_stalled(key, attempt)
+                    if stall > 0.0:
+                        deadline = stall_until.setdefault(
+                            key, time.monotonic() + stall
+                        )
+                        if time.monotonic() < deadline:
+                            continue  # silent: the lease is left to expire
+                    skewed = faults.skewed_claim_time(key, attempt)
+                    if skewed is not None:
+                        # A skewed worker stamps explicit (past) times
+                        # instead of touching the file.
+                        try:
+                            os.utime(claim, (skewed, skewed))
+                        except OSError:
+                            pass
+                        continue
                 fq.heartbeat(claim)
 
     heartbeater = threading.Thread(target=beat, daemon=True)
     heartbeater.start()
     started = time.perf_counter()
-    released = set()
-    completed = set()
+    released: set = set()
+    completed: set = set()
+    abandoned = False
     try:
+        for _claim, payload in claims:
+            if faults.fires(
+                "worker_kill", payload["key"], int(payload.get("attempts", 0))
+            ):
+                raise faults.WorkerKilled(f"worker_kill on {payload['key']}")
         importlib.import_module(claims[0][1]["module"])
         pending = []  # (claim, payload, spec, cache) not yet in cache
         for claim, payload in claims:
@@ -167,34 +363,80 @@ def process_one(
                     _log(worker_id, f"finished {payload['key']} (cache)")
             else:
                 pending.append((claim, payload, spec, cache))
+        ok = True
         if pending:
-            specs = [spec for _claim, _payload, spec, _cache in pending]
-            if len(specs) > 1:
-                from repro.scenarios.vector import run_vector_batch
-
-                results = run_vector_batch(specs)
-            else:
-                results = [run_scenario(specs[0])]
+            outcomes = _execute_pending(
+                pending,
+                worker_id=worker_id,
+                cell_timeout=cell_timeout,
+                verbose=verbose,
+            )
             # Lanes of a batch genuinely ran concurrently: split the wall
             # time evenly, as the vector executor does.
             elapsed = (time.perf_counter() - started) / len(pending)
-            for (claim, payload, spec, cache), result in zip(pending, results):
-                cache.put(spec, result)
+            for (claim, payload, spec, cache), (result, error) in zip(
+                pending, outcomes
+            ):
+                key = payload["key"]
+                attempts = int(payload.get("attempts", 0))
+                if error is not None:
+                    kind, detail = error
+                    _fail_cell(
+                        fq,
+                        claim,
+                        payload,
+                        worker_id=worker_id,
+                        kind=kind,
+                        error=detail,
+                        released=released,
+                        verbose=verbose,
+                    )
+                    ok = False
+                    continue
+                if faults.fires("torn_cache_write", key, attempts):
+                    # Simulated crash mid cache commit: a truncated entry
+                    # lands at the final path, then the done marker still
+                    # publishes -- the coordinator must detect the
+                    # corruption (checksum), quarantine the entry, and
+                    # re-execute the cell.
+                    faults.write_torn(
+                        cache.entry_path(spec), cache.serialize(spec, result)
+                    )
+                else:
+                    cache.put(spec, result)
                 fq.complete(
-                    payload["key"],
+                    key,
                     worker=worker_id,
                     elapsed_seconds=elapsed,
-                    attempts=int(payload.get("attempts", 0)),
+                    attempts=attempts,
                     cached=False,
                 )
-                completed.add(payload["key"])
+                completed.add(key)
                 if verbose:
-                    batched = f", batch of {len(pending)}" if len(pending) > 1 else ""
+                    batched = (
+                        f", batch of {len(pending)}" if len(pending) > 1 else ""
+                    )
                     _log(
                         worker_id,
-                        f"finished {payload['key']} ({elapsed:.1f}s{batched})",
+                        f"finished {key} ({elapsed:.1f}s{batched})",
                     )
-        return True
+        return ok
+    except faults.WorkerKilled as kill:
+        # Simulated hard death (chaos testing): stop heartbeating and
+        # abandon every lease *without* releasing it or recording failures
+        # -- exactly the state a kill -9 leaves.  The leases expire and the
+        # coordinator reclaims them; this worker loop survives to serve
+        # other cells, as a replacement worker would.
+        stop.set()
+        heartbeater.join()
+        abandoned = True
+        if verbose:
+            _log(
+                worker_id,
+                f"[fault] simulated kill ({kill}); abandoning "
+                f"{len(claims)} lease(s) to expire",
+            )
+        return False
     except Exception:
         # Stop heartbeating before any lease is released: a released path
         # may be renamed onto by another worker's fresh claim, which our
@@ -203,44 +445,26 @@ def process_one(
         heartbeater.join()
         error = traceback.format_exc()
         for claim, payload in claims:
-            key = payload["key"]
-            if key in completed:
+            if payload["key"] in completed:
                 continue
-            attempts = int(payload.get("attempts", 0))
-            max_attempts = int(payload.get("max_attempts", 1))
-            fq.record_failure(
-                key,
-                worker=worker_id,
+            _fail_cell(
+                fq,
+                claim,
+                payload,
+                worker_id=worker_id,
                 kind="error",
                 error=error,
-                attempts=attempts + 1,
+                released=released,
+                verbose=verbose,
             )
-            if attempts + 1 < max_attempts:
-                # Release the lease BEFORE republishing the task:
-                # enqueueing first opens a race where another worker
-                # claims the new task (rename onto our still-present
-                # claim path) and a later unlink of ours would delete
-                # *its* fresh lease.  For the same reason the final
-                # cleanup below must not touch the path again once it is
-                # released here.
-                fq.release_claim(claim, worker_id)
-                released.add(key)
-                requeued = dict(payload)
-                requeued["attempts"] = attempts + 1
-                fq.enqueue(requeued)
-            if verbose:
-                _log(
-                    worker_id,
-                    f"cell {key} failed "
-                    f"(attempt {attempts + 1}/{max_attempts}):\n{error}",
-                )
         return False
     finally:
         stop.set()
         heartbeater.join()
-        for claim, payload in claims:
-            if payload["key"] not in released:
-                fq.release_claim(claim, worker_id)
+        if not abandoned:
+            for claim, payload in claims:
+                if payload["key"] not in released:
+                    fq.release_claim(claim, worker_id)
 
 
 def drain(
@@ -248,23 +472,38 @@ def drain(
     *,
     worker_id: Optional[str] = None,
     poll_interval: float = 0.5,
+    max_poll_interval: Optional[float] = None,
     idle_timeout: Optional[float] = None,
     heartbeat_interval: float = 5.0,
     max_cells: Optional[int] = None,
     once: bool = False,
     verbose: bool = True,
     batch_limit: int = 1,
+    cell_timeout: Optional[float] = None,
 ) -> int:
     """Serve ``queue_dir`` until an exit condition; returns cells executed.
 
     Exit conditions: ``once`` (queue found empty), ``idle_timeout`` seconds
     without anything claimable, or ``max_cells`` processed.  With none of
     them, serve until killed -- lease reclaim makes a hard kill safe.
+
+    Idle polling backs off exponentially from ``poll_interval`` up to
+    ``max_poll_interval`` (default ``max(poll_interval, 10)``) with
+    uniform jitter, so a fleet of idle workers sharing one mount neither
+    scans it at full rate forever nor synchronizes into stampedes; any
+    claimed cell resets the backoff.
     """
     worker_id = worker_id or default_worker_id()
     fq = FileQueue(queue_dir).ensure()
     executed = 0
     idle_since: Optional[float] = None
+    cap = (
+        max_poll_interval
+        if max_poll_interval is not None
+        else max(poll_interval, 10.0)
+    )
+    delay = poll_interval
+    jitter = random.Random(worker_id)  # per-worker decorrelation only
     while True:
         outcome = process_one(
             fq,
@@ -272,6 +511,7 @@ def drain(
             heartbeat_interval=heartbeat_interval,
             verbose=verbose,
             batch_limit=batch_limit,
+            cell_timeout=cell_timeout,
         )
         if outcome is None:
             if once:
@@ -280,9 +520,17 @@ def drain(
             idle_since = idle_since if idle_since is not None else now
             if idle_timeout is not None and now - idle_since >= idle_timeout:
                 break
-            time.sleep(poll_interval)
+            sleep_for = jitter.uniform(0.5 * delay, delay)
+            if idle_timeout is not None:
+                # Never sleep past the idle deadline.
+                sleep_for = min(
+                    sleep_for, max(0.0, idle_since + idle_timeout - now)
+                )
+            time.sleep(sleep_for)
+            delay = min(cap, delay * 2.0)
             continue
         idle_since = None
+        delay = poll_interval
         executed += 1
         if max_cells is not None and executed >= max_cells:
             break
@@ -306,7 +554,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--poll-interval", type=float, default=0.5, metavar="S",
-        help="seconds between queue scans while idle (default: 0.5)",
+        help="initial seconds between queue scans while idle; backs off "
+        "exponentially with jitter while nothing is claimable "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
+        "--max-poll-interval", type=float, default=None, metavar="S",
+        help="cap on the idle-poll backoff "
+        "(default: max(--poll-interval, 10))",
     )
     parser.add_argument(
         "--idle-timeout", type=float, default=None, metavar="S",
@@ -333,17 +588,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         "as one batch (default: 1 = one cell at a time)",
     )
     parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="wall-clock bound on one cell's execution; a cell exceeding "
+        "it gets a 'timeout' failure record and is requeued within its "
+        "retry budget (default: unbounded)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell log lines"
     )
     args = parser.parse_args(argv)
     if args.poll_interval <= 0:
         parser.error("--poll-interval must be > 0")
+    if (
+        args.max_poll_interval is not None
+        and args.max_poll_interval < args.poll_interval
+    ):
+        parser.error("--max-poll-interval must be >= --poll-interval")
     if args.heartbeat <= 0:
         parser.error("--heartbeat must be > 0")
     if args.max_cells is not None and args.max_cells < 1:
         parser.error("--max-cells must be >= 1")
     if args.vector_batch < 1:
         parser.error("--vector-batch must be >= 1")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error("--cell-timeout must be > 0")
 
     worker_id = args.worker_id or default_worker_id()
     if not args.quiet:
@@ -352,12 +620,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.queue_dir,
         worker_id=worker_id,
         poll_interval=args.poll_interval,
+        max_poll_interval=args.max_poll_interval,
         idle_timeout=args.idle_timeout,
         heartbeat_interval=args.heartbeat,
         max_cells=args.max_cells,
         once=args.once,
         verbose=not args.quiet,
         batch_limit=args.vector_batch,
+        cell_timeout=args.cell_timeout,
     )
     if not args.quiet:
         _log(worker_id, f"exiting after {executed} cell(s)")

@@ -27,6 +27,16 @@ def executor_probe(spec):
             fh.write(str(os.getpid()))
     if extra.get("boom") == x:
         raise RuntimeError(f"probe exploded on x={x}")
+    boom_file = extra.get("boom_file")
+    if boom_file and os.path.exists(boom_file):
+        raise RuntimeError(f"probe exploded on boom_file for x={x}")
+    if extra.get("interrupt") == x:
+        raise KeyboardInterrupt(f"probe interrupted on x={x}")
+    sleep_for = extra.get("sleep")
+    if sleep_for:
+        import time
+
+        time.sleep(float(sleep_for))
     return {
         "x": x,
         "seed": spec.seed,

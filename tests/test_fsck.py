@@ -1,0 +1,241 @@
+"""``tfrc-sweep-fsck``: every finding kind, its ``--repair`` action, and
+the CLI's exit codes / JSON report."""
+
+import json
+import os
+import time
+
+import pytest
+
+import _executor_probe  # noqa: F401  (registers the "executor_probe" scenario)
+from repro.scenarios import (
+    FileQueue,
+    FileQueueExecutor,
+    ResultCache,
+    ScenarioSpec,
+    SweepRunner,
+)
+from repro.scenarios.fsck import audit, main as fsck_main
+
+SPEC = ScenarioSpec("executor_probe", seed=7, extra={"x": 5})
+KEY = f"{SPEC.scenario}-{SPEC.spec_hash()}"
+
+
+def _queue(tmp_path):
+    """An empty queue directory plus its default-location cache."""
+    fq = FileQueue(tmp_path / "queue").ensure()
+    cache = ResultCache(fq.root / "results")
+    return fq, cache
+
+
+def _payload(fq, cache, attempts=0, max_attempts=3):
+    return {
+        "key": KEY,
+        "module": "_executor_probe",
+        "spec": SPEC.to_dict(),
+        "cache_dir": fq.encode_cache_dir(cache.root),
+        "attempts": attempts,
+        "max_attempts": max_attempts,
+    }
+
+
+def _complete(fq, cache):
+    """Put the probe cell into the healthy completed state."""
+    cache.put(SPEC, {"x": 5, "seed": 7, "product": 35, "duration": 1.0})
+    fq.complete(KEY, worker="test", elapsed_seconds=0.0, attempts=0)
+
+
+def _kinds(findings):
+    return sorted(f.kind for f in findings)
+
+
+class TestAuditFindings:
+    def test_clean_after_real_sweep(self, tmp_path):
+        queue_dir = tmp_path / "queue"
+        SweepRunner(
+            ScenarioSpec("executor_probe", seed=3, extra={"x": 0}),
+            {"extra.x": [1, 2], "seed": [10, 20]},
+            cache_dir=str(queue_dir / "results"),
+            executor=FileQueueExecutor(
+                queue_dir, local_workers=1,
+                poll_interval=0.02, lease_timeout=30.0,
+            ),
+        ).run()
+        assert audit(queue_dir) == []
+
+    def test_corrupt_cache_entry(self, tmp_path):
+        fq, cache = _queue(tmp_path)
+        bad = cache.root / f"{KEY}.json"
+        bad.write_text('{"truncated":')
+        findings = audit(fq.root)
+        assert _kinds(findings) == ["corrupt_cache_entry"]
+        assert findings[0].repaired is None
+
+        repaired = audit(fq.root, repair=True)
+        assert repaired[0].repaired is not None
+        assert not bad.exists()
+        assert list(cache.quarantine_dir.iterdir())  # evidence preserved
+        assert audit(fq.root) == []
+
+    def test_corrupt_done_marker(self, tmp_path):
+        fq, _cache = _queue(tmp_path)
+        (fq.done / f"{KEY}.json").write_text("not json")
+        assert _kinds(audit(fq.root)) == ["corrupt_done"]
+        audit(fq.root, repair=True)
+        assert not (fq.done / f"{KEY}.json").exists()
+        assert audit(fq.root) == []
+
+    def test_done_without_result(self, tmp_path):
+        fq, _cache = _queue(tmp_path)
+        fq.complete(KEY, worker="test", elapsed_seconds=0.0, attempts=0)
+        findings = audit(fq.root)
+        assert _kinds(findings) == ["done_without_result"]
+        audit(fq.root, repair=True)
+        # marker withdrawn: the cell re-runs instead of being trusted
+        assert not fq.done_path(KEY).exists()
+        assert audit(fq.root) == []
+
+    def test_corrupt_task_quarantined_with_record(self, tmp_path):
+        fq, _cache = _queue(tmp_path)
+        fq.task_path(KEY).write_text('{"spec": tru')
+        assert _kinds(audit(fq.root)) == ["corrupt_task"]
+        audit(fq.root, repair=True)
+        assert not fq.task_path(KEY).exists()
+        assert KEY in fq.quarantined_keys()
+        records = fq.read_failures(KEY)
+        assert records and records[-1]["kind"] == "corrupt_task"
+        assert records[-1]["worker"] == "fsck"
+        assert audit(fq.root) == []
+
+    def test_task_after_done(self, tmp_path):
+        fq, cache = _queue(tmp_path)
+        _complete(fq, cache)
+        fq.enqueue(_payload(fq, cache))
+        assert _kinds(audit(fq.root)) == ["task_after_done"]
+        audit(fq.root, repair=True)
+        assert not fq.task_path(KEY).exists()
+        assert fq.done_path(KEY).exists()  # the completion itself survives
+        assert audit(fq.root) == []
+
+    def test_budget_exhausted_task_dead_lettered(self, tmp_path):
+        fq, cache = _queue(tmp_path)
+        fq.record_failure(KEY, worker="w", kind="error", error="x", attempts=3)
+        fq.enqueue(_payload(fq, cache, attempts=3, max_attempts=3))
+        assert _kinds(audit(fq.root)) == ["budget_exhausted_task"]
+        audit(fq.root, repair=True)
+        assert not fq.task_path(KEY).exists()
+        assert KEY in fq.quarantined_keys()
+        letters = [
+            json.loads(p.read_text())
+            for p in fq.quarantine.glob("*.json")
+        ]
+        assert any(
+            d["kind"] == "retry_budget_exhausted" and d["failures"]
+            for d in letters
+        )
+        assert audit(fq.root) == []
+
+    def test_corrupt_claim_quarantined(self, tmp_path):
+        fq, _cache = _queue(tmp_path)
+        fq.claim_path(KEY).write_text("")
+        assert _kinds(audit(fq.root)) == ["corrupt_claim"]
+        audit(fq.root, repair=True)
+        assert not fq.claim_path(KEY).exists()
+        assert KEY in fq.quarantined_keys()
+        assert audit(fq.root) == []
+
+    def test_stale_claim_for_completed_cell(self, tmp_path):
+        fq, cache = _queue(tmp_path)
+        _complete(fq, cache)
+        claim = fq.claim_path(KEY)
+        json.dump(_payload(fq, cache), claim.open("w"))
+        assert _kinds(audit(fq.root)) == ["stale_claim"]
+        audit(fq.root, repair=True)
+        assert not claim.exists()
+        assert audit(fq.root) == []
+
+    def test_expired_lease_requeued_only_with_bound(self, tmp_path):
+        fq, cache = _queue(tmp_path)
+        claim = fq.claim_path(KEY)
+        payload = dict(_payload(fq, cache), worker="dead-host-1")
+        json.dump(payload, claim.open("w"))
+        old = time.time() - 5000.0
+        os.utime(claim, (old, old))
+
+        # without --lease-timeout an old claim is NOT a finding: a live
+        # worker may simply be mid-cell with slow heartbeats
+        assert audit(fq.root) == []
+
+        findings = audit(fq.root, lease_timeout=60.0)
+        assert _kinds(findings) == ["expired_lease"]
+        audit(fq.root, lease_timeout=60.0, repair=True)
+        assert not claim.exists()
+        task = json.loads(fq.task_path(KEY).read_text())
+        assert task["key"] == KEY
+        assert "worker" not in task  # republished claimable, not leased
+        assert audit(fq.root, lease_timeout=60.0) == []
+
+    def test_stale_tmp_litter(self, tmp_path):
+        fq, cache = _queue(tmp_path)
+        litter = [
+            fq.tasks / f"{KEY}.json.tmp.123-abcd",
+            cache.root / f"{KEY}.json.tmp.99-beef",
+        ]
+        for path in litter:
+            path.write_text("{")
+        assert _kinds(audit(fq.root)) == ["stale_tmp", "stale_tmp"]
+        audit(fq.root, repair=True)
+        assert not any(p.exists() for p in litter)
+        assert audit(fq.root) == []
+
+    def test_one_repair_pass_fixes_compound_damage(self, tmp_path):
+        # A torn cache entry also invalidates its done marker: one
+        # --repair pass must fix both (cache is scanned before done/).
+        fq, cache = _queue(tmp_path)
+        _complete(fq, cache)
+        (cache.root / f"{KEY}.json").write_text('{"half')
+        findings = audit(fq.root, repair=True)
+        assert _kinds(findings) == ["corrupt_cache_entry", "done_without_result"]
+        assert all(f.repaired for f in findings)
+        assert audit(fq.root) == []
+
+
+class TestFsckCli:
+    def test_exit_codes_and_repair(self, tmp_path, capsys):
+        fq, _cache = _queue(tmp_path)
+        assert fsck_main([str(fq.root)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+        fq.task_path(KEY).write_text("garbage")
+        assert fsck_main([str(fq.root)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt_task" in out and "1 finding(s)" in out
+
+        assert fsck_main([str(fq.root), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out and "quarantined cell(s)" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        fq, _cache = _queue(tmp_path)
+        (fq.done / f"{KEY}.json").write_text("nope")
+        assert fsck_main([str(fq.root), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is False
+        assert [f["kind"] for f in report["findings"]] == ["corrupt_done"]
+        assert report["findings"][0]["repaired"] is None
+
+        assert fsck_main([str(fq.root), "--json", "--repair"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"][0]["repaired"]
+
+        assert fsck_main([str(fq.root), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["clean"] is True
+
+    def test_usage_errors(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            fsck_main([str(tmp_path / "missing")])
+        assert exc.value.code == 2
+        (tmp_path / "q").mkdir()
+        with pytest.raises(SystemExit) as exc:
+            fsck_main([str(tmp_path / "q"), "--lease-timeout", "0"])
+        assert exc.value.code == 2

@@ -55,6 +55,34 @@ class TestRunnerCli:
         assert runner.main(["fig05", "--quick", "--executor", "serial"]) == 0
         assert "rate x1.0" in capsys.readouterr().out
 
+    def test_queue_robustness_flag_validation(self, tmp_path):
+        base = [
+            "fig20", "--quick",
+            "--executor", "queue", "--queue-dir", str(tmp_path),
+        ]
+        with pytest.raises(SystemExit):
+            runner.main(base + ["--lease-timeout", "0"])
+        with pytest.raises(SystemExit):
+            runner.main(base + ["--max-attempts", "0"])
+        with pytest.raises(SystemExit):
+            runner.main(base + ["--on-poison", "explode"])
+
+    def test_queue_robustness_flags_reach_the_executor(self, tmp_path, capsys):
+        assert (
+            runner.main([
+                "fig20", "--quick",
+                "--executor", "queue",
+                "--queue-dir", str(tmp_path / "queue"),
+                "--parallel", "1",
+                "--cache", str(tmp_path / "cache"),
+                "--lease-timeout", "45",
+                "--max-attempts", "5",
+                "--on-poison", "quarantine",
+            ])
+            == 0
+        )
+        assert "RTTs to halve" in capsys.readouterr().out
+
     def test_fig20_queue_executor_matches_serial(self, tmp_path, capsys):
         assert runner.main(["fig20", "--quick"]) == 0
         serial_out = capsys.readouterr().out
