@@ -1,0 +1,130 @@
+"""The committed findings baseline: the zero-new-findings gate.
+
+``audit_baseline.json`` (committed at the repo root) records every
+finding the team has explicitly decided to live with -- each entry
+carries a **justification**, and ``--check-baseline`` fails when one is
+missing, so a finding can never be waved through by silently editing the
+baseline.  Entries are keyed by a line-number-free fingerprint
+(rule + path + detail), so unrelated edits shifting a file do not churn
+the baseline, while any change to the finding itself (or its file)
+surfaces as a *new* finding again.
+
+The intended state of the baseline is empty: fix or suppress findings at
+the source, and reserve baseline entries for violations that are real
+but deliberately deferred.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.audit.records import AuditRecord
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A malformed or unjustified baseline file."""
+
+
+def fingerprint(record: AuditRecord) -> str:
+    """Line-number-free identity of a finding."""
+    blob = f"{record.rule}\x00{record.path}\x00{record.detail}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, Any]]:
+    """Baseline entries keyed by fingerprint; {} when the file is absent."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return {}
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise BaselineError(f"unparseable baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("findings"), list
+    ):
+        raise BaselineError(f"baseline {path} is not a findings document")
+    entries: Dict[str, Dict[str, Any]] = {}
+    for index, entry in enumerate(payload["findings"]):
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("fingerprint"), str
+        ):
+            raise BaselineError(
+                f"baseline {path}: entry #{index} has no fingerprint"
+            )
+        entries[entry["fingerprint"]] = entry
+    return entries
+
+
+def unjustified(entries: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Fingerprints whose entries lack a written justification."""
+    return sorted(
+        fp
+        for fp, entry in entries.items()
+        if not str(entry.get("justification", "")).strip()
+    )
+
+
+def apply_baseline(
+    findings: Sequence[AuditRecord], entries: Dict[str, Dict[str, Any]]
+) -> Tuple[List[AuditRecord], int, List[str]]:
+    """``(new_findings, baselined_count, stale_fingerprints)``."""
+    seen: set = set()
+    new: List[AuditRecord] = []
+    baselined = 0
+    for record in findings:
+        fp = fingerprint(record)
+        if fp in entries:
+            seen.add(fp)
+            baselined += 1
+        else:
+            new.append(record)
+    stale = sorted(set(entries) - seen)
+    return new, baselined, stale
+
+
+def write_baseline(
+    path: Path,
+    findings: Sequence[AuditRecord],
+    existing: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> int:
+    """(Re)write the baseline for ``findings``; returns the entry count.
+
+    Justifications from ``existing`` entries are preserved; genuinely new
+    entries get an empty justification, which ``--check-baseline``
+    rejects until a human writes one -- that is the undocumented-edit
+    gate.
+    """
+    existing = existing or {}
+    entries = []
+    for record in sorted(
+        findings, key=lambda r: (r.path, r.line, r.rule, r.detail)
+    ):
+        fp = fingerprint(record)
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule": record.rule,
+                "path": record.path,
+                "detail": record.detail,
+                "justification": str(
+                    existing.get(fp, {}).get("justification", "")
+                ),
+            }
+        )
+    payload = {
+        "tool": "tfrc-audit",
+        "version": BASELINE_VERSION,
+        "findings": entries,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)

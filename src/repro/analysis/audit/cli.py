@@ -1,0 +1,160 @@
+"""``tfrc-audit``: the static-analysis entry point.
+
+Usage::
+
+    tfrc-audit [--root DIR] [--json] [--baseline PATH]
+               [--check-baseline] [--update-baseline] [--list-rules]
+
+Exit codes: 0 = clean (every finding baselined-with-justification),
+1 = new findings (or, with ``--check-baseline``, an unjustified baseline
+entry), 2 = configuration problems (bad root, malformed baseline).
+
+``--json`` emits the findings-record schema shared with
+``tfrc-sweep-fsck --json`` (see :mod:`repro.analysis.audit.records`), so
+one consumer parses both CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.audit import baseline as baseline_mod
+from repro.analysis.audit.engine import all_rules, run_audit
+from repro.analysis.audit.records import AuditRecord
+
+DEFAULT_BASELINE = "audit_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tfrc-audit",
+        description="AST-based invariant analyzer for the repro tree "
+        "(determinism, fs-commit protocol, cache contract, registry "
+        "coherence, test-tier hygiene).",
+    )
+    parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="repository root to audit (default: current directory)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON (schema shared with tfrc-sweep-fsck)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="also fail on baseline entries without a justification "
+        "(the CI gate mode)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings, preserving "
+        "existing justifications; new entries need one written by hand",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every registered rule and exit",
+    )
+    return parser
+
+
+def _print_rules(out) -> None:
+    for rule in all_rules():
+        print(f"{rule.id:36s} {rule.severity:8s} {rule.summary}", file=out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.list_rules:
+        _print_rules(out)
+        return 0
+
+    root = Path(args.root).resolve()
+    if not (root / "src" / "repro").is_dir():
+        print(
+            f"tfrc-audit: {root} has no src/repro tree (wrong --root?)",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = run_audit(root)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    try:
+        entries = baseline_mod.load_baseline(baseline_path)
+    except baseline_mod.BaselineError as exc:
+        print(f"tfrc-audit: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        count = baseline_mod.write_baseline(baseline_path, findings, entries)
+        blank = len(baseline_mod.unjustified(
+            baseline_mod.load_baseline(baseline_path)
+        ))
+        print(
+            f"tfrc-audit: wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+            f"to {baseline_path}"
+            + (f" ({blank} still need a justification)" if blank else ""),
+            file=out,
+        )
+        return 0
+
+    new, baselined, stale = baseline_mod.apply_baseline(findings, entries)
+    unjustified = baseline_mod.unjustified(entries) if args.check_baseline else []
+
+    if args.as_json:
+        document = {
+            "tool": "tfrc-audit",
+            "root": str(root),
+            "findings": [record.to_dict() for record in new],
+            "baselined": baselined,
+            "stale_baseline": stale,
+            "unjustified_baseline": unjustified,
+        }
+        json.dump(document, out, indent=2, sort_keys=True, allow_nan=False)
+        out.write("\n")
+    else:
+        for record in new:
+            print(record.render(), file=out)
+        summary = (
+            f"tfrc-audit: {len(new)} finding(s)"
+            + (f", {baselined} baselined" if baselined else "")
+            + (f", {len(stale)} stale baseline entr"
+               f"{'y' if len(stale) == 1 else 'ies'}" if stale else "")
+        )
+        print(summary, file=out)
+        for fp in stale:
+            entry = entries[fp]
+            print(
+                f"  stale baseline entry {fp} "
+                f"({entry.get('rule')} at {entry.get('path')}): finding is "
+                "gone; run --update-baseline",
+                file=out,
+            )
+        for fp in unjustified:
+            entry = entries[fp]
+            print(
+                f"  baseline entry {fp} ({entry.get('rule')} at "
+                f"{entry.get('path')}) has no justification -- write one "
+                "in the baseline file",
+                file=out,
+            )
+
+    if new or unjustified:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

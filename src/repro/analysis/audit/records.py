@@ -1,0 +1,100 @@
+"""The findings-record schema shared by ``tfrc-audit`` and ``tfrc-sweep-fsck``.
+
+Both tools report problems as a list of flat JSON records with the same
+canonical keys -- ``rule`` (a dotted rule/kind identifier), ``path``
+(repo-relative where possible), ``line`` (0 when the finding is not
+line-anchored, as fsck's never are), ``severity`` (``error`` or
+``warning``), and ``detail`` (one human sentence) -- so dashboards and CI
+artifact consumers parse one schema regardless of which tool produced it.
+Tool-specific extras ride along as additional keys (``hint`` for audit
+fix suggestions, ``repaired`` for fsck repairs) without breaking the
+shared core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: the keys every findings record carries, in canonical order.
+RECORD_KEYS = ("rule", "path", "line", "severity", "detail")
+
+
+def finding_record(
+    *,
+    rule: str,
+    path: str,
+    detail: str,
+    line: int = 0,
+    severity: str = SEVERITY_ERROR,
+    **extras: Any,
+) -> Dict[str, Any]:
+    """One canonical findings record (plus tool-specific ``extras``)."""
+    record: Dict[str, Any] = {
+        "rule": str(rule),
+        "path": str(path),
+        "line": int(line),
+        "severity": str(severity),
+        "detail": str(detail),
+    }
+    for key, value in sorted(extras.items()):
+        if value not in (None, ""):
+            record[key] = value
+    return record
+
+
+def read_findings(payload: Any) -> List[Dict[str, Any]]:
+    """Parse either tool's ``--json`` output into canonical records.
+
+    Accepts the full document (``{"findings": [...]}``) or a bare list;
+    raises :class:`ValueError` on records missing a canonical key, so a
+    schema regression in either tool fails loudly in whatever consumes
+    the CI artifacts.
+    """
+    findings = payload.get("findings") if isinstance(payload, dict) else payload
+    if not isinstance(findings, list):
+        raise ValueError("findings payload is not a list")
+    records: List[Dict[str, Any]] = []
+    for index, entry in enumerate(findings):
+        if not isinstance(entry, dict):
+            raise ValueError(f"finding #{index} is not an object")
+        missing = [key for key in RECORD_KEYS if key not in entry]
+        if missing:
+            raise ValueError(
+                f"finding #{index} is missing canonical keys {missing}"
+            )
+        records.append(entry)
+    return records
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One static-analysis finding, ready for text or JSON output."""
+
+    rule: str
+    path: str  # repo-root-relative, POSIX separators
+    line: int
+    severity: str
+    detail: str
+    hint: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def to_dict(self) -> Dict[str, Any]:
+        return finding_record(
+            rule=self.rule,
+            path=self.path,
+            line=self.line,
+            severity=self.severity,
+            detail=self.detail,
+            hint=self.hint,
+        )
+
+    def render(self) -> str:
+        text = f"{self.location}: {self.severity}: [{self.rule}] {self.detail}"
+        return f"{text}\n    hint: {self.hint}" if self.hint else text

@@ -719,10 +719,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         }
     report = build_report(suites, args.repeats, args.isolate, executors)
 
-    print(json.dumps(report, indent=2, sort_keys=True))
+    print(json.dumps(report, indent=2, sort_keys=True, allow_nan=False))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
+            json.dump(report, fh, indent=2, sort_keys=True, allow_nan=False)
             fh.write("\n")
         print(f"[tfrc-bench] wrote {args.output}", file=sys.stderr)
 

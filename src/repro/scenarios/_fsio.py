@@ -1,0 +1,95 @@
+"""Atomic filesystem primitives for the sweep fabric's durable state.
+
+Every durable JSON file the fabric trusts -- result-cache entries, queue
+tasks/claims/done markers, failure records, dead letters, fault-plan state
+-- commits through :func:`atomic_write_json`: tmp file, optional fsync,
+atomic rename, directory-entry fsync.  The matching read side is
+:func:`read_json`, which treats missing/corrupt/partial files as ``None``
+so readers racing a writer (or finding the debris of a crashed one) see a
+clean miss instead of an exception.
+
+This module is the **single blessed owner of raw content writes** in
+``repro.scenarios``: ``tfrc-audit``'s fs-protocol rules statically flag any
+``open(..., "w")`` / ``write_text`` / ``json.dump`` in the scenarios tree
+outside this file, so a torn-write bug class (chased dynamically by the
+PR 7 chaos soak) cannot be reintroduced silently.  Shared by the result
+cache (:mod:`repro.scenarios.cache`), the file queue and its executors
+(:mod:`repro.scenarios.executors`), the worker
+(:mod:`repro.scenarios.worker`), fault-injection state
+(:mod:`repro.scenarios.faults`), and ``tfrc-sweep-fsck``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+JsonDict = Dict[str, Any]
+
+
+def atomic_write_json(
+    path: Path,
+    payload: Dict[str, Any],
+    *,
+    durable: bool = True,
+    _fault_hook: bool = True,
+) -> None:
+    """Write strict JSON (``allow_nan=False``) via tmp file + rename.
+
+    The write is never observable half-done, and a failure (bad value,
+    full disk) never leaves the tmp file behind.  With ``durable`` (the
+    default) the tmp file is fsynced **before** the rename -- without it a
+    crash between rename and writeback can leave a zero-length or torn
+    file at the *final* name, which readers would have to treat as
+    corruption instead of a clean miss.  Pass ``durable=False`` only for
+    state whose loss is harmless (e.g. fault-injection log records).
+
+    ``_fault_hook=False`` is reserved for :mod:`repro.scenarios.faults`
+    itself: the fault layer's own state files (plan dumps, fired-fault log
+    records) must not feed back into the fault schedule they implement.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}-{uuid.uuid4().hex[:8]}")
+    try:
+        with tmp.open("w", encoding="utf-8") as fh:  # tfrc-audit: ignore[fsio] -- the blessed writer itself
+            json.dump(payload, fh, indent=2, sort_keys=True, allow_nan=False)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
+        if _fault_hook:
+            # Imported lazily: faults routes its own state files through
+            # this helper, so a top-level import would cycle.
+            from repro.scenarios import faults
+
+            faults.on_atomic_write(path)
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    if durable:
+        # Make the rename itself durable: fsync the directory entry.
+        # Best-effort -- not every filesystem/platform supports opening a
+        # directory for fsync, and losing only the rename (not the data)
+        # degrades to a clean cache miss.
+        try:
+            dir_fd = os.open(str(path.parent), os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(dir_fd)
+
+
+def read_json(path: Path) -> Optional[JsonDict]:
+    """Best-effort JSON read: None on missing/corrupt/partial files."""
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None

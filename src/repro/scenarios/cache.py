@@ -21,7 +21,9 @@ import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.scenarios import faults
+# Re-exported: the atomic writer predates _fsio and callers import it from
+# here (executors, tests); _fsio.py is its canonical home now.
+from repro.scenarios._fsio import atomic_write_json  # noqa: F401
 from repro.scenarios.spec import JsonDict, ScenarioSpec
 
 #: subdirectory (of the cache root) holding quarantined corrupt entries.
@@ -31,48 +33,6 @@ QUARANTINE_DIRNAME = "quarantine"
 STATUS_HIT = "hit"
 STATUS_MISS = "miss"
 STATUS_CORRUPT = "corrupt"
-
-
-def atomic_write_json(
-    path: Path, payload: Dict[str, Any], *, durable: bool = True
-) -> None:
-    """Write strict JSON (``allow_nan=False``) via tmp file + rename.
-
-    The write is never observable half-done, and a failure (bad value,
-    full disk) never leaves the tmp file behind.  With ``durable`` (the
-    default) the tmp file is fsynced **before** the rename -- without it a
-    crash between rename and writeback can leave a zero-length or torn
-    file at the *final* name, which readers would have to treat as
-    corruption instead of a clean miss.  Shared by the result cache and
-    the file-queue executor protocol.
-    """
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}-{uuid.uuid4().hex[:8]}")
-    try:
-        with tmp.open("w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True, allow_nan=False)
-            if durable:
-                fh.flush()
-                os.fsync(fh.fileno())
-        faults.on_atomic_write(path)
-        tmp.replace(path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
-    if durable:
-        # Make the rename itself durable: fsync the directory entry.
-        # Best-effort -- not every filesystem/platform supports opening a
-        # directory for fsync, and losing only the rename (not the data)
-        # degrades to a clean cache miss.
-        try:
-            dir_fd = os.open(str(path.parent), os.O_RDONLY)
-        except OSError:  # pragma: no cover - platform-dependent
-            return
-        try:
-            os.fsync(dir_fd)
-        except OSError:  # pragma: no cover - platform-dependent
-            pass
-        finally:
-            os.close(dir_fd)
 
 
 def payload_checksum(spec_dict: JsonDict, result: JsonDict) -> str:

@@ -44,7 +44,6 @@ already-finished cells) to the exception before re-raising.
 
 from __future__ import annotations
 
-import json
 import os
 import subprocess
 import sys
@@ -66,7 +65,8 @@ from typing import (
 )
 
 from repro.scenarios import faults
-from repro.scenarios.cache import ResultCache, atomic_write_json
+from repro.scenarios._fsio import atomic_write_json, read_json
+from repro.scenarios.cache import ResultCache
 from repro.scenarios.spec import JsonDict, ScenarioSpec, run_scenario
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
@@ -235,18 +235,11 @@ class PoolExecutor(SweepExecutor):
 # --------------------------------------------------------- file-queue layer
 
 
-#: tmp-file + rename strict-JSON write, shared with the result cache.
+#: tmp-file + rename strict-JSON write and its best-effort read twin, both
+#: living in :mod:`repro.scenarios._fsio` (shared with the result cache,
+#: the worker, fault-plan state, and fsck); aliased for existing callers.
 _atomic_write_json = atomic_write_json
-
-
-def _read_json(path: Path) -> Optional[JsonDict]:
-    """Best-effort JSON read: None on missing/corrupt/partial files."""
-    try:
-        with path.open("r", encoding="utf-8") as fh:
-            payload = json.load(fh)
-    except (OSError, ValueError):
-        return None
-    return payload if isinstance(payload, dict) else None
+_read_json = read_json
 
 
 class FileQueue:

@@ -74,6 +74,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Set
 
+from repro.scenarios._fsio import atomic_write_json
+
 #: environment variable naming a FaultPlan JSON file; worker subprocesses
 #: (which inherit the coordinator's environment) activate the plan from it.
 ENV_VAR = "TFRC_FAULT_PLAN"
@@ -187,15 +189,14 @@ class FaultPlan:
         try:
             root = Path(self.log_dir)
             root.mkdir(parents=True, exist_ok=True)
-            tmp = root / f"{name}.tmp.{os.getpid()}"
-            tmp.write_text(
-                json.dumps(
-                    {"site": site, "key": key, "attempt": attempt},
-                    sort_keys=True,
-                ),
-                encoding="utf-8",
+            # Atomic but not fsynced: losing a log record on power loss is
+            # harmless, a torn one would corrupt the soak's coverage count.
+            atomic_write_json(
+                root / f"{name}.json",
+                {"site": site, "key": key, "attempt": attempt},
+                durable=False,
+                _fault_hook=False,
             )
-            tmp.replace(root / f"{name}.json")
         except OSError:  # pragma: no cover - log loss must never fault the run
             pass
 
@@ -212,12 +213,14 @@ class FaultPlan:
         }
 
     def dump(self, path: "str | os.PathLike[str]") -> Path:
-        """Write the plan JSON that :data:`ENV_VAR` points workers at."""
+        """Write the plan JSON that :data:`ENV_VAR` points workers at.
+
+        Committed via the shared tmp+fsync+rename helper: the fault layer
+        injects torn writes, it must not be able to tear its own state
+        file (a half-written plan would crash every spawned worker).
+        """
         path = Path(path)
-        path.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=True),
-            encoding="utf-8",
-        )
+        atomic_write_json(path, self.to_dict(), _fault_hook=False)
         return path
 
     @classmethod
@@ -303,8 +306,10 @@ def write_torn(path: Path, payload: Dict[str, Any]) -> None:
     payload.  Used by the ``torn_cache_write`` / ``corrupt_task_write``
     sites; production code never calls this.
     """
-    text = json.dumps(payload, indent=2, sort_keys=True)
+    text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
     path.parent.mkdir(parents=True, exist_ok=True)
+    # This IS the simulated crashed-write state the atomic helper prevents.
+    # tfrc-audit: ignore[fsio.raw-write] -- deliberately torn
     with path.open("w", encoding="utf-8") as fh:
         fh.write(text[: max(1, len(text) // 2)])
 

@@ -55,8 +55,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
 
+from repro.analysis.audit.records import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    finding_record,
+)
 from repro.scenarios.cache import ResultCache, verify_entry
-from repro.scenarios.executors import FileQueue, _read_json
+from repro.scenarios._fsio import read_json
+from repro.scenarios.executors import FileQueue
+
+#: finding kinds that are litter rather than lost/untrustworthy state.
+_WARNING_KINDS = frozenset({"stale_tmp"})
 
 
 @dataclass
@@ -67,6 +76,27 @@ class Finding:
     path: Path
     detail: str
     repaired: Optional[str] = None  # description of the applied repair
+
+    @property
+    def severity(self) -> str:
+        return (
+            SEVERITY_WARNING if self.kind in _WARNING_KINDS else SEVERITY_ERROR
+        )
+
+    def to_record(self) -> dict:
+        """The canonical findings record shared with ``tfrc-audit --json``.
+
+        fsck findings are whole-file, never line-anchored, so ``line`` is
+        always 0; the fsck-specific ``repaired`` note rides along as an
+        extra key.
+        """
+        return finding_record(
+            rule=f"fsck.{self.kind}",
+            path=str(self.path),
+            detail=self.detail,
+            severity=self.severity,
+            repaired=self.repaired,
+        )
 
     def render(self) -> str:
         line = f"[{self.kind}] {self.path}: {self.detail}"
@@ -114,7 +144,7 @@ def audit(
     # ------------------------------------------------------ done markers
     for path in sorted(fq.done.glob("*.json")):
         key = _key_of(path)
-        marker = _read_json(path)
+        marker = read_json(path)
         if marker is None:
             finding = Finding(
                 "corrupt_done", path, "done marker does not parse"
@@ -144,7 +174,7 @@ def audit(
     # ------------------------------------------------------------- tasks
     for path in sorted(fq.tasks.glob("*.json")):
         key = _key_of(path)
-        payload = _read_json(path)
+        payload = read_json(path)
         if payload is None or "key" not in payload:
             finding = Finding(
                 "corrupt_task", path, "task payload does not parse"
@@ -196,7 +226,7 @@ def audit(
     now = fq.fs_now()
     for path in sorted(fq.claims.glob("*.json")):
         key = _key_of(path)
-        payload = _read_json(path)
+        payload = read_json(path)
         if payload is None or "key" not in payload:
             finding = Finding(
                 "corrupt_claim", path, "claim payload does not parse"
@@ -306,21 +336,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             json.dumps(
                 {
+                    "tool": "tfrc-sweep-fsck",
                     "queue_dir": str(fq.root),
-                    "findings": [
-                        {
-                            "kind": f.kind,
-                            "path": str(f.path),
-                            "detail": f.detail,
-                            "repaired": f.repaired,
-                        }
-                        for f in findings
-                    ],
+                    "findings": [f.to_record() for f in findings],
                     "quarantined_keys": quarantined,
                     "clean": not findings,
                 },
                 indent=2,
                 sort_keys=True,
+                allow_nan=False,
             )
         )
     else:

@@ -119,6 +119,7 @@ class ScenarioSpec:
         tag = json.dumps(
             {k: overrides[k] for k in sorted(overrides)},
             sort_keys=True, separators=(",", ":"), default=str,
+            allow_nan=False,
         )
         return (self.seed * 1_000_003 + zlib.crc32(tag.encode("utf-8"))) & 0x7FFFFFFF
 

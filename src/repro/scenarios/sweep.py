@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import itertools
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 

@@ -149,7 +149,9 @@ def batch_key(spec: ScenarioSpec) -> str:
     data["topology"].pop("rtt", None)
     data["loss"].pop("rate", None)
     data["seed"] = None
-    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
 
 
 # ------------------------------------------------------------ batch execution

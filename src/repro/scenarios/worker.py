@@ -66,7 +66,8 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.scenarios import faults
 from repro.scenarios.cache import ResultCache
-from repro.scenarios.executors import FileQueue, _read_json
+from repro.scenarios._fsio import read_json
+from repro.scenarios.executors import FileQueue
 from repro.scenarios.spec import JsonDict, ScenarioSpec, run_scenario
 
 
@@ -165,7 +166,7 @@ def _claim_batch_mates(
     for task in sorted(fq.tasks.glob("*.json")):
         if len(mates) >= limit:
             break
-        if not compatible(_read_json(task)):
+        if not compatible(read_json(task)):
             continue
         claimed = fq.claim_task(task, worker_id)
         if claimed is not None and compatible(claimed[1]):

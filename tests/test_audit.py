@@ -1,0 +1,521 @@
+"""``tfrc-audit``: per-rule fixtures (hit / suppressed / allowlisted),
+the baseline gate, the shared findings schema, and the repo smoke test
+asserting the tree is audit-clean against the committed baseline."""
+
+import json
+import time
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis.audit import AuditConfig, run_audit
+from repro.analysis.audit.cli import main as audit_main
+from repro.analysis.audit.records import finding_record, read_findings
+from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
+from repro.scenarios import faults
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _write(root: Path, rel: str, text: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dedent(text), encoding="utf-8")
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def _tree(tmp_path: Path) -> Path:
+    (tmp_path / "src" / "repro").mkdir(parents=True, exist_ok=True)
+    return tmp_path
+
+
+# --------------------------------------------------------- determinism rules
+
+
+class TestDeterminismRules:
+    def test_wall_clock_hit_aliased_and_suppressed(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/probe.py", """\
+            import time as t
+            from datetime import datetime
+
+            def sample():
+                return t.time()
+
+            def stamp():
+                return datetime.now()
+
+            def excused():
+                return t.time()  # tfrc-audit: ignore[determinism.wall-clock] -- why
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["determinism.wall-clock"] * 2
+        assert findings[0].line == 5
+
+    def test_wall_clock_allowlisted_in_rt_layer(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/rt/pacer.py", """\
+            import time
+
+            def now():
+                return time.time()
+            """)
+        assert run_audit(root) == []
+
+    def test_global_rng_from_import_alias(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/core/jitter.py", """\
+            from random import choice
+            import random
+
+            def pick(xs):
+                return choice(xs)
+
+            def draw():
+                return random.random()
+
+            def seeded():
+                return random.Random(7).random()  # instance: fine
+            """)
+        assert _rules(run_audit(root)) == ["determinism.global-rng"] * 2
+
+    def test_unsorted_listdir_vs_sanitized(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/walk.py", """\
+            import os
+
+            def bad(d):
+                return [n for n in os.listdir(d)]
+
+            def good(d):
+                return sorted(os.listdir(d))
+
+            def counted(p):
+                return sum(1 for _ in p.glob("*.json"))
+
+            def raw(p):
+                for entry in p.iterdir():
+                    yield entry
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["determinism.unsorted-listdir"] * 2
+        assert [f.line for f in findings] == [4, 13]
+
+    def test_set_iteration(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/tcp/order.py", """\
+            def bad(xs):
+                return [x for x in set(xs)]
+
+            def worse(xs):
+                return list(set(xs))
+
+            def good(xs):
+                return sorted(set(xs))
+            """)
+        assert _rules(run_audit(root)) == ["determinism.set-iteration"] * 2
+
+
+# ------------------------------------------------------------- fs-protocol
+
+
+class TestFsioRules:
+    def test_raw_writes_flagged_outside_fsio(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/scenarios/leaky.py", """\
+            import json
+
+            def save(path, payload):
+                path.write_text("boom")
+                with open(path, "w") as fh:
+                    json.dump(payload, fh, allow_nan=False)
+            """)
+        assert _rules(run_audit(root)) == [
+            "fsio.raw-write", "fsio.raw-write", "fsio.stream-dump",
+        ]
+
+    def test_blessed_module_and_suppression(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/scenarios/_fsio.py", """\
+            def atomic(path, text):
+                with path.open("w") as fh:
+                    fh.write(text)
+            """)
+        _write(root, "src/repro/scenarios/torn.py", """\
+            def tear(path):
+                # tfrc-audit: ignore[fsio] -- deliberately torn
+                with path.open("w") as fh:
+                    fh.write("ha")
+            """)
+        assert run_audit(root) == []
+
+    def test_append_mode_is_not_a_content_write(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/scenarios/clock.py", """\
+            def touch(sentinel):
+                with sentinel.open("a"):
+                    pass
+            """)
+        assert run_audit(root) == []
+
+
+# ------------------------------------------------------------ cache contract
+
+
+class TestCacheRules:
+    def test_non_finite_in_registered_scenario(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/experiments/figx.py", """\
+            import math
+            from repro.scenarios import register_scenario
+
+            @register_scenario("figx_cell")
+            def run(spec):
+                return {"metric": float("nan"), "bound": math.inf}
+
+            def helper():
+                return float("inf")  # not a scenario function: fine
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["cache.non-finite-literal"] * 2
+
+    def test_lenient_json_dump(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/wire/export.py", """\
+            import json
+
+            def bad(d):
+                return json.dumps(d)
+
+            def good(d):
+                return json.dumps(d, allow_nan=False)
+            """)
+        assert _rules(run_audit(root)) == ["cache.lenient-json-dump"]
+
+
+# -------------------------------------------------------- registry coherence
+
+
+class TestRegistryRules:
+    def test_duplicate_scenario(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/scenarios/dupes.py", """\
+            from repro.scenarios.spec import register_scenario
+
+            @register_scenario("twice")
+            def a(spec):
+                return {}
+
+            @register_scenario("twice")
+            def b(spec):
+                return {}
+            """)
+        assert _rules(run_audit(root)) == ["registry.duplicate-scenario"]
+
+    def test_executor_name_drift_all_directions(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/scenarios/executors.py", """\
+            EXECUTOR_NAMES = ("serial", "ghost")
+
+            class SweepExecutor:
+                name = "abstract"
+
+            class SerialExecutor(SweepExecutor):
+                name = "serial"
+
+            class RogueExecutor(SweepExecutor):
+                name = "rogue"
+
+            def resolve(executor):
+                if executor == "bogus":
+                    return None
+            """)
+        _write(root, "src/repro/experiments/runner.py", """\
+            def build(parser):
+                parser.add_argument("--executor", choices=("serial",))
+            """)
+        rules = _rules(run_audit(root))
+        assert rules.count("registry.executor-name-drift") == 4
+        details = [f.detail for f in run_audit(root)]
+        assert any("'ghost'" in d for d in details)  # listed, unclaimed
+        assert any("'rogue'" in d for d in details)  # claimed, unlisted
+        assert any("'bogus'" in d for d in details)  # compared, unknown
+        assert any("choices" in d for d in details)  # CLI not on the table
+
+    def test_executor_tables_in_agreement(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/scenarios/executors.py", """\
+            EXECUTOR_NAMES = ("serial",)
+
+            class SweepExecutor:
+                name = "abstract"
+
+            class SerialExecutor(SweepExecutor):
+                name = "serial"
+
+            def resolve(executor):
+                if executor == "serial":
+                    return SerialExecutor()
+            """)
+        _write(root, "src/repro/experiments/runner.py", """\
+            from repro.scenarios.executors import EXECUTOR_NAMES
+
+            def build(parser):
+                parser.add_argument("--executor", choices=EXECUTOR_NAMES)
+            """)
+        assert run_audit(root) == []
+
+    def test_unregistered_scenario_ref_and_constant_resolution(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/scenarios/cells.py", """\
+            from repro.scenarios.spec import register_scenario
+
+            GRID_NAME = "grid_cell"
+
+            @register_scenario(GRID_NAME)
+            def run(spec):
+                return {}
+            """)
+        _write(root, "src/repro/experiments/use.py", """\
+            from repro.scenarios import ScenarioSpec
+
+            def good():
+                return ScenarioSpec(scenario="grid_cell")
+
+            def bad():
+                return ScenarioSpec(scenario="grid_cel")
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["registry.unregistered-scenario-ref"]
+        assert "grid_cel" in findings[0].detail
+
+
+# --------------------------------------------------------- test-tier hygiene
+
+
+class TestTestTierRules:
+    HEAVY = dedent("""\
+        import pytest
+        from repro.scenarios import ScenarioSpec, SweepRunner
+
+        def test_heavy():
+            base = ScenarioSpec(scenario="x", duration=120.0)
+            SweepRunner(base, {"a": [1, 2, 3, 4, 5], "b": [1, 2]}).run()
+        """)
+
+    def test_unmarked_heavy_test_flagged(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "tests/test_heavy.py", self.HEAVY)
+        findings = run_audit(root)
+        assert _rules(findings) == ["tests.missing-slow-marker"]
+        assert "10 cell(s)" in findings[0].detail
+
+    def test_marked_variants_pass(self, tmp_path):
+        root = _tree(tmp_path)
+        marked = self.HEAVY.replace(
+            "def test_heavy():",
+            "@pytest.mark.slow\ndef test_heavy():",
+        )
+        _write(root, "tests/test_marked.py", marked)
+        _write(
+            root, "tests/test_module_marked.py",
+            "import pytest\npytestmark = pytest.mark.slow\n" + self.HEAVY,
+        )
+        assert run_audit(root) == []
+
+    def test_small_grid_with_small_duration_passes(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "tests/test_light.py", """\
+            from repro.scenarios import ScenarioSpec, SweepRunner
+
+            def test_light():
+                base = ScenarioSpec(scenario="x", duration=1.0)
+                SweepRunner(base, {"a": [1, 2, 3, 4]}).run()
+            """)
+        assert run_audit(root) == []
+
+    def test_huge_grid_flagged_even_without_duration(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "tests/test_wide.py", """\
+            from repro.scenarios import SweepRunner
+
+            def test_wide(base):
+                grid = {"a": list(range(2)), "b": [1] * 3}
+                SweepRunner(base, {
+                    "a": [1, 2, 3, 4, 5, 6, 7, 8],
+                    "b": [1, 2, 3, 4, 5, 6, 7, 8],
+                    "c": [1, 2, 3, 4],
+                }).run()
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["tests.missing-slow-marker"]
+
+
+# -------------------------------------------------------- baseline + CLI gate
+
+
+class TestBaselineGate:
+    def _violating_tree(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/probe.py", """\
+            import time
+
+            def sample():
+                return time.time()
+            """)
+        return root
+
+    def test_update_then_gate(self, tmp_path, capsys):
+        root = self._violating_tree(tmp_path)
+        assert audit_main(["--root", str(root)]) == 1
+        capsys.readouterr()
+
+        assert audit_main(["--root", str(root), "--update-baseline"]) == 0
+        capsys.readouterr()
+        # baselined: plain runs are clean...
+        assert audit_main(["--root", str(root)]) == 0
+        capsys.readouterr()
+        # ...but the gate rejects the entry until someone justifies it.
+        assert audit_main(["--root", str(root), "--check-baseline"]) == 1
+        assert "no justification" in capsys.readouterr().out
+
+        baseline_path = root / "audit_baseline.json"
+        payload = json.loads(baseline_path.read_text())
+        for entry in payload["findings"]:
+            entry["justification"] = "legacy probe; tracked in ROADMAP"
+        baseline_path.write_text(json.dumps(payload))
+        assert audit_main(["--root", str(root), "--check-baseline"]) == 0
+
+    def test_stale_entries_warn_but_pass(self, tmp_path, capsys):
+        root = self._violating_tree(tmp_path)
+        audit_main(["--root", str(root), "--update-baseline"])
+        (root / "src/repro/sim/probe.py").write_text(
+            "def sample():\n    return 0.0\n"
+        )
+        assert audit_main(["--root", str(root)]) == 0
+        assert "stale" in capsys.readouterr().out
+
+    def test_malformed_baseline_is_a_usage_error(self, tmp_path):
+        root = self._violating_tree(tmp_path)
+        (root / "audit_baseline.json").write_text("{not json")
+        assert audit_main(["--root", str(root)]) == 2
+
+    def test_bad_root_is_a_usage_error(self, tmp_path):
+        assert audit_main(["--root", str(tmp_path / "nowhere")]) == 2
+
+
+class TestSharedSchema:
+    def test_audit_json_matches_shared_reader(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/probe.py", """\
+            import time
+
+            def sample():
+                return time.time()
+            """)
+        assert audit_main(["--root", str(root), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["tool"] == "tfrc-audit"
+        records = read_findings(report)
+        assert [r["rule"] for r in records] == ["determinism.wall-clock"]
+        assert records[0]["path"] == "src/repro/sim/probe.py"
+        assert records[0]["line"] == 4
+        assert records[0]["severity"] == "error"
+
+    def test_reader_rejects_schema_regressions(self):
+        good = finding_record(rule="x.y", path="p", detail="d")
+        assert read_findings([good]) == [good]
+        with pytest.raises(ValueError):
+            read_findings([{"rule": "x.y", "path": "p"}])  # no detail/line
+        with pytest.raises(ValueError):
+            read_findings({"findings": "nope"})
+
+
+class TestRepoIsClean:
+    def test_repo_smoke_audit_clean_against_committed_baseline(self, capsys):
+        """The whole tree audits clean (zero non-baselined findings)."""
+        assert audit_main(
+            ["--root", str(REPO_ROOT), "--json", "--check-baseline"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"] == []
+        assert report["unjustified_baseline"] == []
+
+    def test_committed_baseline_entries_are_justified(self):
+        payload = json.loads(
+            (REPO_ROOT / "audit_baseline.json").read_text(encoding="utf-8")
+        )
+        for entry in payload["findings"]:
+            assert str(entry.get("justification", "")).strip(), entry
+
+
+# ---------------------------------------------- fabric regression (satellites)
+
+
+@register_scenario("audit_probe")
+def _audit_probe(spec: ScenarioSpec):
+    return {"x": spec.extra.get("x", 0), "rtt": spec.topology.get("rtt", 0.0)}
+
+
+class TestWallClockInvariance:
+    def test_cached_cell_bytes_ignore_wall_clock(self, tmp_path, monkeypatch):
+        """Satellite regression: no wall-clock value may reach cached cell
+        results -- identical sweeps run under wildly different clocks must
+        produce byte-identical cache entries."""
+        base = ScenarioSpec(scenario="audit_probe", extra={"x": 1})
+
+        def run_with_offset(offset: float, cache_dir: Path) -> bytes:
+            real_time = time.time
+            monkeypatch.setattr(
+                time, "time", lambda: real_time() + offset
+            )
+            try:
+                SweepRunner(
+                    base, {"extra.x": [1, 2]}, cache_dir=str(cache_dir)
+                ).run()
+            finally:
+                monkeypatch.setattr(time, "time", real_time)
+            entries = sorted(cache_dir.glob("*.json"))
+            assert len(entries) == 2
+            return b"".join(p.read_bytes() for p in entries)
+
+        first = run_with_offset(0.0, tmp_path / "a")
+        second = run_with_offset(86_400.0, tmp_path / "b")
+        assert first == second
+
+
+class TestFaultStateWrites:
+    def test_plan_dump_is_atomic_strict_json(self, tmp_path):
+        """Satellite regression: the fault layer's own state file commits
+        through the shared atomic helper (strict JSON, no tmp litter)."""
+        plan = faults.FaultPlan(seed=3, rates={"worker_kill": 0.5})
+        path = plan.dump(tmp_path / "plan.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["seed"] == 3
+        assert list(tmp_path.glob("*.tmp.*")) == []
+        assert faults.FaultPlan.load(path).rates == {"worker_kill": 0.5}
+
+    def test_fault_state_writes_bypass_the_fault_hook(self, tmp_path):
+        """A plan that delays every atomic rename must not delay (or
+        recursively re-enter) its own dump/log writes."""
+        log_dir = tmp_path / "log"
+        plan = faults.FaultPlan(
+            seed=1,
+            rates={"delayed_rename": 1.0, "worker_kill": 1.0},
+            delay_seconds=30.0,
+            log_dir=str(log_dir),
+        )
+        faults.install(plan)
+        try:
+            start = time.monotonic()
+            plan.dump(tmp_path / "plan.json")
+            assert plan.fires("worker_kill", "cell-1")  # writes a log record
+            elapsed = time.monotonic() - start
+        finally:
+            faults.uninstall()
+        assert elapsed < 5.0, "fault-layer state write hit its own fault hook"
+        assert len(list(log_dir.glob("*.json"))) == 1

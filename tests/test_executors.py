@@ -187,7 +187,7 @@ class TestCrashResume:
 
         serial_touches = len(list(touch_dir.glob("*")))
         executor = FileQueueExecutor(
-            queue_dir, local_workers=1, lease_timeout=0.2, poll_interval=0.02,
+            queue_dir, local_workers=1, lease_timeout=1.0, poll_interval=0.02,
         )
         sweep = SweepRunner(
             base, grid, cache_dir=str(cache_root), executor=executor
@@ -230,7 +230,7 @@ class TestCrashResume:
         os.utime(claimed[0], (stale, stale))
 
         executor = FileQueueExecutor(
-            queue_dir, local_workers=1, lease_timeout=0.2,
+            queue_dir, local_workers=1, lease_timeout=1.0,
             poll_interval=0.02, max_attempts=2,
         )
         sweep = SweepRunner(
