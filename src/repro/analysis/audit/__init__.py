@@ -25,6 +25,12 @@ and runs a registry of checkers, one per invariant family:
 ``tests.*``
     heavyweight tests (big sweep grids / long simulated durations)
     missing ``@pytest.mark.slow``.
+``twin.*``
+    scalar/vector kernel lockstep: declared twin pairs whose bodies
+    lower to different arithmetic traces, pairwise reductions, dtype
+    narrowing, ops outside the blessed float64 set, and vector-named
+    functions with no declared scalar twin
+    (:mod:`repro.analysis.audit.rules_twins`).
 
 Findings share one record schema (rule / path / line / severity / detail)
 with ``tfrc-sweep-fsck --json`` (see :mod:`repro.analysis.audit.records`),
@@ -39,7 +45,9 @@ Entry point: ``tfrc-audit`` (:mod:`repro.analysis.audit.cli`).
 from repro.analysis.audit.engine import (
     AllowEntry,
     AuditConfig,
+    AuditReport,
     run_audit,
+    run_audit_report,
 )
 from repro.analysis.audit.records import (
     AuditRecord,
@@ -51,7 +59,9 @@ __all__ = [
     "AllowEntry",
     "AuditConfig",
     "AuditRecord",
+    "AuditReport",
     "finding_record",
     "read_findings",
     "run_audit",
+    "run_audit_report",
 ]

@@ -3,15 +3,25 @@
 Usage::
 
     tfrc-audit [--root DIR] [--json] [--baseline PATH]
-               [--check-baseline] [--update-baseline] [--list-rules]
+               [--check-baseline] [--update-baseline]
+               [--paths FILE ...] [--annotations]
+               [--list-rules | --rules-markdown]
 
 Exit codes: 0 = clean (every finding baselined-with-justification),
 1 = new findings (or, with ``--check-baseline``, an unjustified baseline
-entry), 2 = configuration problems (bad root, malformed baseline).
+entry), 2 = configuration problems (bad root, malformed baseline,
+incompatible flags).
 
 ``--json`` emits the findings-record schema shared with
 ``tfrc-sweep-fsck --json`` (see :mod:`repro.analysis.audit.records`), so
-one consumer parses both CI artifacts.
+one consumer parses both CI artifacts.  ``--paths`` restricts per-file
+checkers to the listed files for sub-second pre-commit runs (project-wide
+checkers still scan the whole tree; baseline/allowlist staleness is not
+judged from a partial run).  ``--annotations`` renders findings as
+GitHub Actions workflow commands (``::error file=...,line=...``) so they
+surface inline on PRs.  ``--rules-markdown`` prints the rule table the
+README embeds, so the docs are generated from :func:`all_rules` rather
+than maintained by hand.
 """
 
 from __future__ import annotations
@@ -23,8 +33,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.audit import baseline as baseline_mod
-from repro.analysis.audit.engine import all_rules, run_audit
-from repro.analysis.audit.records import AuditRecord
+from repro.analysis.audit.engine import all_rules, run_audit_report
 
 DEFAULT_BASELINE = "audit_baseline.json"
 
@@ -34,7 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="tfrc-audit",
         description="AST-based invariant analyzer for the repro tree "
         "(determinism, fs-commit protocol, cache contract, registry "
-        "coherence, test-tier hygiene).",
+        "coherence, test-tier hygiene, scalar/vector twin congruence).",
     )
     parser.add_argument(
         "--root", default=".", metavar="DIR",
@@ -50,8 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--check-baseline", action="store_true",
-        help="also fail on baseline entries without a justification "
-        "(the CI gate mode)",
+        help="also fail on baseline entries without a justification, "
+        "and warn on stale allowlist entries (the CI gate mode)",
     )
     parser.add_argument(
         "--update-baseline", action="store_true",
@@ -59,8 +68,23 @@ def build_parser() -> argparse.ArgumentParser:
         "existing justifications; new entries need one written by hand",
     )
     parser.add_argument(
-        "--list-rules", action="store_true",
+        "--paths", nargs="+", default=None, metavar="FILE",
+        help="restrict per-file checkers to these files (pre-commit "
+        "mode); project-wide checkers still scan the whole tree",
+    )
+    parser.add_argument(
+        "--annotations", action="store_true",
+        help="also emit GitHub Actions ::error/::warning workflow "
+        "commands for each finding",
+    )
+    parser.add_argument(
+        "--list-rules", "--rules", action="store_true", dest="list_rules",
         help="list every registered rule and exit",
+    )
+    parser.add_argument(
+        "--rules-markdown", action="store_true",
+        help="print the rule table as markdown (the README embeds this "
+        "output) and exit",
     )
     return parser
 
@@ -70,6 +94,28 @@ def _print_rules(out) -> None:
         print(f"{rule.id:36s} {rule.severity:8s} {rule.summary}", file=out)
 
 
+def rules_markdown() -> str:
+    """The README's rule table, generated from the registry."""
+    lines = [
+        "| rule | severity | what it catches |",
+        "| --- | --- | --- |",
+    ]
+    for rule in all_rules():
+        lines.append(f"| `{rule.id}` | {rule.severity} | {rule.summary} |")
+    return "\n".join(lines) + "\n"
+
+
+def _annotate(out, level: str, record_dict: dict) -> None:
+    """One GitHub Actions workflow command for a finding."""
+    title = f"tfrc-audit {record_dict['rule']}"
+    detail = str(record_dict["detail"]).replace("\n", " ")
+    print(
+        f"::{level} file={record_dict['path']},line={record_dict['line']},"
+        f"title={title}::{detail}",
+        file=out,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     out = sys.stdout
@@ -77,6 +123,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         _print_rules(out)
         return 0
+    if args.rules_markdown:
+        out.write(rules_markdown())
+        return 0
+    if args.update_baseline and args.paths:
+        print(
+            "tfrc-audit: --update-baseline needs a whole-tree run; "
+            "drop --paths",
+            file=sys.stderr,
+        )
+        return 2
 
     root = Path(args.root).resolve()
     if not (root / "src" / "repro").is_dir():
@@ -86,7 +142,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    findings = run_audit(root)
+    report = run_audit_report(root, paths=args.paths)
+    findings = report.findings
 
     baseline_path = (
         Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
@@ -111,7 +168,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     new, baselined, stale = baseline_mod.apply_baseline(findings, entries)
+    if report.restricted:
+        stale = []  # a partial run cannot judge baseline staleness
     unjustified = baseline_mod.unjustified(entries) if args.check_baseline else []
+    stale_allowlist = report.stale_allowlist if args.check_baseline else []
 
     if args.as_json:
         document = {
@@ -121,6 +181,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "baselined": baselined,
             "stale_baseline": stale,
             "unjustified_baseline": unjustified,
+            "stale_allowlist": stale_allowlist,
         }
         json.dump(document, out, indent=2, sort_keys=True, allow_nan=False)
         out.write("\n")
@@ -148,6 +209,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"  baseline entry {fp} ({entry.get('rule')} at "
                 f"{entry.get('path')}) has no justification -- write one "
                 "in the baseline file",
+                file=out,
+            )
+        for description in stale_allowlist:
+            print(
+                f"  stale allowlist entry {description}; delete it from "
+                "DEFAULT_ALLOWLIST",
+                file=out,
+            )
+
+    if args.annotations:
+        for record in new:
+            _annotate(out, "error", record.to_dict())
+        for fp in unjustified:
+            entry = entries[fp]
+            print(
+                f"::warning title=tfrc-audit baseline::entry {fp} "
+                f"({entry.get('rule')} at {entry.get('path')}) has no "
+                "justification",
+                file=out,
+            )
+        for description in stale_allowlist:
+            print(
+                f"::warning title=tfrc-audit allowlist::stale entry "
+                f"{description}",
                 file=out,
             )
 

@@ -93,19 +93,17 @@ def _rule_matches(token: str, rule_id: str) -> bool:
 
 #: Layers where the determinism family legitimately does not apply.  The
 #: simulation core must be a pure function of the spec, but the fabric
-#: *around* it schedules real processes against real clocks.
+#: *around* it schedules real processes against real clocks.  Layers the
+#: checker never visits at all (anything outside
+#: ``AuditConfig.determinism_prefixes`` -- rt/, apps/, perf/, wire/)
+#: need no entry here: an entry that suppresses nothing is itself
+#: flagged as stale under ``--check-baseline``.
 DEFAULT_ALLOWLIST: Tuple[AllowEntry, ...] = (
     AllowEntry(
         "src/repro/scenarios/executors.py",
         ("determinism",),
         "queue fabric: lease ages, heartbeats, and poll loops are "
         "wall-clock by design; cell results never depend on them",
-    ),
-    AllowEntry(
-        "src/repro/scenarios/worker.py",
-        ("determinism",),
-        "worker loop: heartbeat threads and elapsed-seconds reporting "
-        "are wall-clock; results flow only from run_scenario(spec)",
     ),
     AllowEntry(
         "src/repro/scenarios/faults.py",
@@ -117,33 +115,6 @@ DEFAULT_ALLOWLIST: Tuple[AllowEntry, ...] = (
         "src/repro/scenarios/fsck.py",
         ("determinism",),
         "fsck judges lease staleness against the fabric's clock",
-    ),
-    AllowEntry(
-        "src/repro/scenarios/sweep.py",
-        ("determinism.wall-clock",),
-        "per-cell elapsed-seconds progress reporting only; cached "
-        "results never include it",
-    ),
-    AllowEntry(
-        "src/repro/rt/",
-        ("determinism",),
-        "the real-time pacing layer exists to consume wall-clock time",
-    ),
-    AllowEntry(
-        "src/repro/apps/",
-        ("determinism",),
-        "interactive demo apps pace themselves against real time",
-    ),
-    AllowEntry(
-        "src/repro/perf/",
-        ("determinism",),
-        "benchmarks measure wall-clock by definition; their output is "
-        "never a scenario cell result",
-    ),
-    AllowEntry(
-        "src/repro/wire/",
-        ("determinism.wall-clock",),
-        "pcap-style capture stamps frames with real arrival clocks",
     ),
 )
 
@@ -303,6 +274,7 @@ def load_builtin_checkers() -> None:
         rules_fsio,
         rules_registry,
         rules_tests,
+        rules_twins,
     )
 
 
@@ -339,6 +311,9 @@ class AuditConfig:
     slow_work_threshold: float = 600.0
     #: ...or whose grid alone reaches this many cells.
     slow_cell_threshold: int = 256
+    #: name suffixes that mark a function as a vector kernel; such a
+    #: function must declare its scalar twin (twin.unregistered-twin).
+    twin_suffixes: Tuple[str, ...] = ("_vec", "_vector")
 
 
 # ---------------------------------------------------------------- the audit
@@ -354,13 +329,54 @@ def iter_source_paths(repo_root: Path, config: AuditConfig) -> List[Path]:
     return paths
 
 
-def run_audit(
-    repo_root: "str | Path", config: Optional[AuditConfig] = None
-) -> List[AuditRecord]:
-    """Parse the tree, run every checker, filter, and sort the findings."""
+@dataclass
+class AuditReport:
+    """The outcome of one audit run.
+
+    ``stale_allowlist`` mirrors the stale-baseline warning: a
+    :class:`AllowEntry` whose prefix matches no scanned file, or that
+    suppressed no finding this run, is a hole nobody needs anymore and
+    should be deleted.  It is only computed on whole-tree runs --
+    a ``--paths``-restricted run sees too few findings to judge.
+    """
+
+    findings: List[AuditRecord]
+    stale_allowlist: List[str] = field(default_factory=list)
+    restricted: bool = False
+
+
+def _normalize_paths(
+    root: Path, paths: Sequence["str | Path"]
+) -> Set[str]:
+    """Requested --paths values as root-relative posix strings."""
+    rel_set: Set[str] = set()
+    for raw in paths:
+        candidate = Path(raw)
+        if not candidate.is_absolute():
+            candidate = root / candidate
+        try:
+            rel_set.add(candidate.resolve().relative_to(root).as_posix())
+        except ValueError:
+            rel_set.add(Path(raw).as_posix())
+    return rel_set
+
+
+def run_audit_report(
+    repo_root: "str | Path",
+    config: Optional[AuditConfig] = None,
+    paths: Optional[Sequence["str | Path"]] = None,
+) -> AuditReport:
+    """Parse the tree, run every checker, filter, and sort the findings.
+
+    With ``paths``, per-file checkers run only on the listed files
+    (the sub-second pre-commit mode); project-wide checkers still see
+    the whole corpus, since their invariants are cross-file.
+    """
     load_builtin_checkers()
     root = Path(repo_root).resolve()
     cfg = config or AuditConfig()
+    restricted = paths is not None
+    rel_set = _normalize_paths(root, paths) if paths is not None else set()
 
     corpus: List[SourceFile] = []
     findings: List[AuditRecord] = []
@@ -381,19 +397,50 @@ def run_audit(
             )
 
     for source in corpus:
+        if restricted and source.rel_path not in rel_set:
+            continue
         for checker, _ in _FILE_CHECKERS:
             findings.extend(checker(source, cfg))
     for checker, _ in _PROJECT_CHECKERS:
         findings.extend(checker(corpus, cfg))
 
     by_path = {source.rel_path: source for source in corpus}
+    allow_hits = [0] * len(cfg.allowlist)
     kept: List[AuditRecord] = []
     for record in findings:
         source = by_path.get(record.path)
         if source is not None and source.suppressed(record.line, record.rule):
             continue
-        if any(e.covers(record.path, record.rule) for e in cfg.allowlist):
+        matched = next(
+            (
+                i
+                for i, entry in enumerate(cfg.allowlist)
+                if entry.covers(record.path, record.rule)
+            ),
+            None,
+        )
+        if matched is not None:
+            allow_hits[matched] += 1
             continue
         kept.append(record)
     kept.sort(key=lambda r: (r.path, r.line, r.rule, r.detail))
-    return kept
+
+    stale: List[str] = []
+    if not restricted:
+        for entry, hits in zip(cfg.allowlist, allow_hits):
+            label = f"{entry.path_prefix} ({', '.join(entry.rules)})"
+            if not any(
+                s.rel_path.startswith(entry.path_prefix) for s in corpus
+            ):
+                stale.append(f"{label}: matches no scanned file")
+            elif hits == 0:
+                stale.append(f"{label}: suppresses no finding")
+    return AuditReport(findings=kept, stale_allowlist=stale,
+                       restricted=restricted)
+
+
+def run_audit(
+    repo_root: "str | Path", config: Optional[AuditConfig] = None
+) -> List[AuditRecord]:
+    """The findings of a whole-tree audit run (see :func:`run_audit_report`)."""
+    return run_audit_report(repo_root, config).findings

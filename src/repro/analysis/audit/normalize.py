@@ -1,0 +1,745 @@
+"""Lowering scalar/vector twin bodies to one normalized arithmetic trace.
+
+The twin-congruence rules (:mod:`repro.analysis.audit.rules_twins`) must
+decide, statically, whether a scalar reference function and its vectorized
+twin evaluate *the same float64 operations in the same per-element order*.
+This module does the language-level half of that job: it symbolically
+executes a function body into a canonical expression tree over the blessed
+op set (``+ - * /``, ``sqrt``, ``min``/``max``, comparisons, ``select``)
+in which the scalar and vector idioms that are bit-identical by
+construction become literally equal:
+
+* **Branches** -- a scalar ``if c: return a`` / ``return b`` chain, a
+  conditional expression, and ``np.where(c, a, b)`` all lower to
+  ``(select c a b)``.  Boolean conjunctions distribute
+  (``select(a and b, x, y)`` == ``select(a, select(b, x, y), y)``), so
+  the vector idiom of splitting a Python-level flag from an element-wise
+  mask compares equal to the scalar's fused ``and``.
+* **Folds** -- a scalar accumulation loop (``acc = 0.0; for ...:
+  acc += term``) and a vector left-fold over matrix columns
+  (``acc = t[:, 0] + t[:, 1]; for j in range(2, N): acc += t[:, j]``)
+  both lower to ``(fold + term)``, with the loop variable abstracted to a
+  symbolic element index and any concretely-unrolled leading terms
+  absorbed (their count must match the loop's start index).  Fold
+  *lengths* are a runtime property: absent columns must contribute exact
+  ``0.0`` terms, which the runtime fuzz tier verifies.
+* **Fast-path guards** -- ``if mask.all(): return early`` is lowered as a
+  proof obligation: the early expression must equal the fall-through
+  expression specialized under ``mask == True``.  A guard whose early
+  return computes something else is itself an op-divergence.
+* **Value-preserving wrappers** -- ``np.asarray`` / ``np.float64`` /
+  ``float`` casts, ``np.full_like(x, c)`` broadcasts, ``math.sqrt`` vs
+  ``np.sqrt``, ``min`` vs ``np.minimum`` all canonicalize away.
+  Domain-check ``if ...: raise`` guards and ``with np.errstate(...)``
+  wrappers (vector code's way of tolerating masked-lane artifacts) are
+  transparent.
+
+Anything outside this vocabulary (``while`` loops, subscript stores,
+data-dependent trip counts) raises :class:`UnsupportedConstruct`: such a
+pair cannot be *trace*-certified and must be registered in ``runtime``
+mode, where congruence is delegated to the seeded fuzz tier.
+
+Constants are normalized by float value (``0`` == ``0.0``); comparisons
+by direction (``a > b`` == ``b < a``).  The canonical tree renders to a
+stable S-expression, and :func:`first_divergence` walks two trees in
+lockstep to name the innermost point where they disagree -- that path is
+what a ``twin.op-divergence`` finding shows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+# Normalized expressions are nested tuples, compared structurally:
+#   ("const", 2.0)          ("sym", "arg0.gentle")        ("op", "+", a, b)
+#   ("select", c, a, b)     ("fold", "+", term)           ("elem", seq)
+#   ("elem@", seq, idx)     ("call", "name", *args)       ("not"|"and"|"or", ...)
+Expr = Tuple[Any, ...]
+
+_SELF_NAMES = ("self", "cls")
+
+#: calls that evaluate to their (single meaningful) argument bit-for-bit.
+_TRANSPARENT_CALLS = {
+    "float", "numpy.float64", "numpy.asarray", "numpy.ascontiguousarray",
+}
+
+#: calls mapped onto blessed ops, by canonical qualname or builtin name.
+_OP_CALLS = {
+    "math.sqrt": "sqrt",
+    "numpy.sqrt": "sqrt",
+    "abs": "abs",
+    "numpy.abs": "abs",
+    "numpy.absolute": "abs",
+    "math.fabs": "abs",
+    "min": "min",
+    "numpy.minimum": "min",
+    "max": "max",
+    "numpy.maximum": "max",
+}
+
+_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.Pow: "pow", ast.FloorDiv: "floordiv", ast.Mod: "mod",
+    ast.MatMult: "matmul",
+}
+
+#: comparisons canonicalized left-to-right (Gt/GtE swap operands).
+_CMPOPS = {ast.Lt: "lt", ast.LtE: "le", ast.Eq: "eq", ast.NotEq: "ne"}
+_SWAPPED_CMPOPS = {ast.Gt: "lt", ast.GtE: "le"}
+
+
+class UnsupportedConstruct(Exception):
+    """The body uses something the trace vocabulary cannot express."""
+
+
+@dataclass
+class NormalizedTrace:
+    """The outcome of lowering one function body."""
+
+    expr: Optional[Expr]
+    error: Optional[str] = None
+    #: human-readable failures of ``.all()`` fast-path guard obligations.
+    guard_failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.guard_failures
+
+
+def module_numeric_constants(tree: ast.Module) -> Dict[str, float]:
+    """Module-level ``NAME = <number>`` constants (for range bounds etc.)."""
+    constants: Dict[str, float] = {}
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, (int, float))
+            and not isinstance(value.value, bool)
+        ):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                constants[target.id] = float(value.value)
+    return constants
+
+
+def normalize_function(
+    source: Any,
+    func: ast.FunctionDef,
+    call_map: Optional[Dict[str, str]] = None,
+) -> NormalizedTrace:
+    """Lower ``func`` into a canonical trace (``source`` is a SourceFile)."""
+    normalizer = _Normalizer(source, func, call_map or {})
+    try:
+        expr = normalizer.run()
+    except UnsupportedConstruct as exc:
+        return NormalizedTrace(expr=None, error=str(exc))
+    failures = normalizer.check_guards(expr)
+    return NormalizedTrace(expr=expr, guard_failures=failures)
+
+
+# ---------------------------------------------------------------- rendering
+
+
+def render(expr: Expr) -> str:
+    """Stable S-expression form of a normalized expression."""
+    tag = expr[0]
+    if tag == "const":
+        return repr(expr[1])
+    if tag == "sym":
+        return expr[1]
+    if tag == "elem":
+        return f"{render(expr[1])}[@]"
+    if tag == "elem@":
+        return f"{render(expr[1])}[{render(expr[2])}]"
+    if tag == "fold":
+        return f"(fold {expr[1]} {render(expr[2])})"
+    if tag in ("select", "op", "call", "and", "or", "not"):
+        head = expr[1] if tag in ("op", "call") else tag
+        args = expr[2:] if tag in ("op", "call") else expr[1:]
+        rendered = " ".join(render(arg) for arg in args)
+        return f"({head} {rendered})" if rendered else f"({head})"
+    return f"({tag} ...)"  # pragma: no cover - no other tags are built
+
+
+def _clip(text: str, limit: int = 90) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def first_divergence(
+    scalar: Expr, vector: Expr, path: str = "result"
+) -> Optional[Tuple[str, str, str]]:
+    """``(path, scalar_render, vector_render)`` at the innermost mismatch."""
+    if scalar == vector:
+        return None
+    composite = ("select", "op", "call", "and", "or", "not", "fold",
+                 "elem", "elem@")
+    if (
+        scalar[0] == vector[0]
+        and scalar[0] in composite
+        and len(scalar) == len(vector)
+    ):
+        start = 2 if scalar[0] in ("op", "call", "fold") else 1
+        if scalar[1:start] == vector[1:start]:
+            label = scalar[1] if scalar[0] in ("op", "call") else scalar[0]
+            for i in range(start, len(scalar)):
+                child_s, child_v = scalar[i], vector[i]
+                if isinstance(child_s, tuple) and isinstance(child_v, tuple):
+                    found = first_divergence(
+                        child_s, child_v, f"{path}.{label}[{i - start}]"
+                    )
+                    if found is not None:
+                        return found
+                elif child_s != child_v:
+                    break
+    return (path, _clip(render(scalar)), _clip(render(vector)))
+
+
+# ------------------------------------------------------------- the normalizer
+
+
+class _Undefined:
+    """Sentinel for a name bound on only one side of a branch."""
+
+
+_UNDEF: Expr = ("sym", "<undefined>")
+
+
+class _Normalizer:
+    def __init__(
+        self, source: Any, func: ast.FunctionDef, call_map: Dict[str, str]
+    ) -> None:
+        self.source = source
+        self.func = func
+        self.call_map = call_map
+        self.constants = module_numeric_constants(source.tree)
+        self.guards: List[Tuple[Expr, Expr, int]] = []  # (mask, early, line)
+        self.env: Dict[str, Expr] = {}
+        args = func.args
+        params = list(getattr(args, "posonlyargs", [])) + list(args.args)
+        if params and params[0].arg in _SELF_NAMES:
+            self.env[params[0].arg] = ("sym", params[0].arg)
+            params = params[1:]
+        for index, param in enumerate(params):
+            self.env[param.arg] = ("sym", f"arg{index}")
+
+    # ------------------------------------------------------------- top level
+
+    def run(self) -> Expr:
+        expr = self.eval_block(list(self.func.body), self.env)
+        return _canon(expr)
+
+    def check_guards(self, final: Expr) -> List[str]:
+        failures = []
+        for mask, early, line in self.guards:
+            specialized = _canon(_specialize(final, _canon(mask)))
+            early = _canon(early)
+            if specialized != early:
+                failures.append(
+                    f"line {line}: .all() fast-path guard returns "
+                    f"{_clip(render(early))} but the general trace "
+                    f"specializes to {_clip(render(specialized))}"
+                )
+        return failures
+
+    def fail(self, node: ast.AST, what: str) -> UnsupportedConstruct:
+        line = getattr(node, "lineno", self.func.lineno)
+        return UnsupportedConstruct(
+            f"{what} at line {line} is outside the trace vocabulary; "
+            "register this pair in [runtime] mode if the congruence is "
+            "fuzz-verified instead"
+        )
+
+    # ------------------------------------------------------------ statements
+
+    def eval_block(self, stmts: List[ast.stmt], env: Dict[str, Expr]) -> Expr:
+        """The value the block returns (``None`` constant if it falls off)."""
+        for index, stmt in enumerate(stmts):
+            rest = stmts[index + 1:]
+            if isinstance(stmt, ast.Return):
+                if stmt.value is None:
+                    return ("const", None)
+                return self.eval_expr(stmt.value, env)
+            if isinstance(stmt, ast.Expr):
+                if isinstance(stmt.value, ast.Constant):
+                    continue  # docstring
+                raise self.fail(stmt, "expression statement with effects")
+            if isinstance(stmt, ast.Assert):
+                continue
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Assign):
+                self._do_assign(stmt, env)
+                continue
+            if isinstance(stmt, ast.AnnAssign):
+                if stmt.value is None:
+                    continue
+                if not isinstance(stmt.target, ast.Name):
+                    raise self.fail(stmt, "annotated non-name assignment")
+                env[stmt.target.id] = self.eval_expr(stmt.value, env)
+                continue
+            if isinstance(stmt, ast.AugAssign):
+                self._do_augassign(stmt, env)
+                continue
+            if isinstance(stmt, ast.With):
+                # errstate-style wrappers are transparent; splice the body.
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        raise self.fail(stmt, "with ... as binding")
+                return self.eval_block(list(stmt.body) + rest, env)
+            if isinstance(stmt, ast.If):
+                result = self._do_if(stmt, rest, env)
+                if result is not None:
+                    return result
+                continue
+            if isinstance(stmt, ast.For):
+                self._do_fold_loop(stmt, env)
+                continue
+            raise self.fail(stmt, f"{type(stmt).__name__} statement")
+        return ("const", None)
+
+    def _do_assign(self, stmt: ast.Assign, env: Dict[str, Expr]) -> None:
+        if len(stmt.targets) != 1:
+            raise self.fail(stmt, "chained assignment")
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            env[target.id] = self.eval_expr(stmt.value, env)
+            return
+        if isinstance(target, ast.Tuple) and isinstance(stmt.value, ast.Tuple):
+            if len(target.elts) != len(stmt.value.elts) or not all(
+                isinstance(t, ast.Name) for t in target.elts
+            ):
+                raise self.fail(stmt, "irregular tuple assignment")
+            values = [self.eval_expr(v, env) for v in stmt.value.elts]
+            for t, v in zip(target.elts, values):
+                env[t.id] = v  # type: ignore[union-attr]
+            return
+        raise self.fail(stmt, "assignment to a non-name target")
+
+    def _do_augassign(self, stmt: ast.AugAssign, env: Dict[str, Expr]) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            raise self.fail(stmt, "augmented assignment to a non-name")
+        op = _BINOPS.get(type(stmt.op))
+        if op is None:
+            raise self.fail(stmt, "augmented assignment operator")
+        current = env.get(stmt.target.id)
+        if current is None:
+            raise self.fail(stmt, "augmented assignment to an unbound name")
+        env[stmt.target.id] = (
+            "op", op, current, self.eval_expr(stmt.value, env)
+        )
+
+    def _do_if(
+        self, stmt: ast.If, rest: List[ast.stmt], env: Dict[str, Expr]
+    ) -> Optional[Expr]:
+        """Handle one If; returns the block's value when it resolves here."""
+        # Domain-check guard: ``if bad: raise`` contributes no arithmetic.
+        if all(isinstance(s, ast.Raise) for s in stmt.body) and not stmt.orelse:
+            return None
+        # Fast-path guard: ``if mask.all(): return early`` -- recorded as a
+        # specialization obligation against the fall-through trace.
+        if (
+            not stmt.orelse
+            and len(stmt.body) == 1
+            and isinstance(stmt.body[0], ast.Return)
+            and stmt.body[0].value is not None
+            and isinstance(stmt.test, ast.Call)
+            and isinstance(stmt.test.func, ast.Attribute)
+            and stmt.test.func.attr == "all"
+            and not stmt.test.args
+            and not stmt.test.keywords
+        ):
+            mask = self.eval_expr(stmt.test.func.value, env)
+            early = self.eval_expr(stmt.body[0].value, env)
+            self.guards.append((mask, early, stmt.lineno))
+            return None
+        cond = self.eval_expr(stmt.test, env)
+        body_returns = _block_returns(stmt.body)
+        orelse_returns = bool(stmt.orelse) and _block_returns(stmt.orelse)
+        if body_returns:
+            body_env = dict(env)
+            body_value = self.eval_block(list(stmt.body), body_env)
+            if orelse_returns:
+                orelse_value = self.eval_block(list(stmt.orelse), dict(env))
+                return ("select", cond, body_value, orelse_value)
+            orelse_value = self.eval_block(list(stmt.orelse) + rest, env)
+            return ("select", cond, body_value, orelse_value)
+        if orelse_returns:
+            orelse_value = self.eval_block(list(stmt.orelse), dict(env))
+            self.eval_block(list(stmt.body), env)  # updates env in place
+            return ("select", _canon(("not", cond)),
+                    orelse_value, self.eval_block(rest, env))
+        # Conditional assignment: merge per-branch bindings element-wise.
+        body_env = dict(env)
+        self.eval_block(list(stmt.body), body_env)
+        orelse_env = dict(env)
+        if stmt.orelse:
+            self.eval_block(list(stmt.orelse), orelse_env)
+        for name in set(body_env) | set(orelse_env):
+            a = body_env.get(name, _UNDEF)
+            b = orelse_env.get(name, _UNDEF)
+            if a == b:
+                env[name] = a
+            else:
+                env[name] = ("select", cond, a, b)
+        return None
+
+    # ------------------------------------------------------------ fold loops
+
+    def _do_fold_loop(self, stmt: ast.For, env: Dict[str, Expr]) -> None:
+        """Lower an accumulation loop into fold() bindings on its accumulators."""
+        if stmt.orelse:
+            raise self.fail(stmt, "for/else")
+        loop_env = dict(env)
+        index_var: Optional[str] = None
+        start = 0
+        iter_node = stmt.iter
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "zip"
+        ):
+            targets = (
+                stmt.target.elts
+                if isinstance(stmt.target, ast.Tuple)
+                else [stmt.target]
+            )
+            if len(targets) != len(iter_node.args) or not all(
+                isinstance(t, ast.Name) for t in targets
+            ):
+                raise self.fail(stmt, "zip loop with irregular targets")
+            for target, seq in zip(targets, iter_node.args):
+                loop_env[target.id] = (  # type: ignore[union-attr]
+                    "elem", self.eval_expr(seq, env)
+                )
+        elif (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+        ):
+            if not isinstance(stmt.target, ast.Name):
+                raise self.fail(stmt, "range loop with a non-name target")
+            index_var = stmt.target.id
+            loop_env[index_var] = ("sym", "<index>")
+            if len(iter_node.args) >= 2:
+                start_val = self._int_value(iter_node.args[0])
+                if start_val is None:
+                    raise self.fail(stmt, "range loop with opaque start")
+                start = start_val
+            if len(iter_node.args) == 3:
+                step = self._int_value(iter_node.args[2])
+                if step != 1:
+                    raise self.fail(stmt, "range loop with step != 1")
+        elif isinstance(stmt.target, ast.Name):
+            loop_env[stmt.target.id] = (
+                "elem", self.eval_expr(iter_node, env)
+            )
+        else:
+            raise self.fail(stmt, "loop shape")
+
+        self._index_var = index_var
+        try:
+            accumulators: List[Tuple[str, str, Expr]] = []
+            for inner in stmt.body:
+                if isinstance(inner, ast.Assign):
+                    self._do_assign(inner, loop_env)
+                    continue
+                if isinstance(inner, ast.AugAssign) and isinstance(
+                    inner.target, ast.Name
+                ):
+                    name = inner.target.id
+                    op = _BINOPS.get(type(inner.op))
+                    if op is None or name not in env:
+                        raise self.fail(inner, "non-accumulating loop body")
+                    term = self.eval_expr(inner.value, loop_env)
+                    accumulators.append((name, op, term))
+                    continue
+                raise self.fail(inner, "non-accumulating loop body")
+        finally:
+            self._index_var = None
+        if not accumulators:
+            raise self.fail(stmt, "loop with no accumulator")
+        for name, op, term in accumulators:
+            env[name] = self._make_fold(stmt, op, _canon(term),
+                                        _canon(env[name]), start)
+
+    _index_var: Optional[str] = None
+
+    def _make_fold(
+        self, stmt: ast.For, op: str, term: Expr, init: Expr, start: int
+    ) -> Expr:
+        """Fuse an accumulator's init into its fold.
+
+        The init must be the op-identity (``0.0`` for ``+``) with the loop
+        starting at 0, or exactly the first ``start`` unrolled terms
+        (``term[0] + term[1]`` with ``range(2, ...)``).
+        """
+        if init == ("const", 0.0) and op == "+":
+            if start != 0:
+                raise self.fail(
+                    stmt, f"zero-init fold whose loop skips {start} term(s)"
+                )
+            return ("fold", op, term)
+        unrolled: List[Expr] = []
+        node = init
+        while isinstance(node, tuple) and node[0] == "op" and node[1] == op:
+            unrolled.insert(0, node[3])
+            node = node[2]
+        unrolled.insert(0, node)
+        if len(unrolled) == start and all(
+            unrolled[i] == _instantiate(term, i) for i in range(start)
+        ):
+            return ("fold", op, term)
+        raise self.fail(
+            stmt,
+            "fold whose initial value is neither the identity nor the "
+            "loop's own leading terms",
+        )
+
+    def _int_value(self, node: ast.expr) -> Optional[int]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return int(node.value)
+        if isinstance(node, ast.Name) and node.id in self.constants:
+            value = self.constants[node.id]
+            if value == int(value):
+                return int(value)
+        return None
+
+    # ----------------------------------------------------------- expressions
+
+    def eval_expr(self, node: ast.expr, env: Dict[str, Expr]) -> Expr:
+        if isinstance(node, ast.Constant):
+            return _const(node.value)
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in self.constants:
+                return ("const", self.constants[node.id])
+            return ("sym", f"${node.id}")
+        if isinstance(node, ast.Attribute):
+            qual = self.source.qualname(node)
+            if qual is not None:
+                return ("sym", qual)
+            base = self.eval_expr(node.value, env)
+            if base[0] == "sym":
+                return ("sym", f"{base[1]}.{node.attr}")
+            raise self.fail(node, "attribute on a computed value")
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise self.fail(node, "binary operator")
+            return ("op", op, self.eval_expr(node.left, env),
+                    self.eval_expr(node.right, env))
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval_expr(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                if operand[0] == "const" and isinstance(
+                    operand[1], float
+                ):
+                    return ("const", -operand[1])
+                return ("op", "neg", operand)
+            if isinstance(node.op, ast.UAdd):
+                return operand
+            if isinstance(node.op, (ast.Not, ast.Invert)):
+                return ("not", operand)
+            raise self.fail(node, "unary operator")
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node, env)
+        if isinstance(node, ast.BoolOp):
+            tag = "and" if isinstance(node.op, ast.And) else "or"
+            return (tag, *[self.eval_expr(v, env) for v in node.values])
+        if isinstance(node, ast.IfExp):
+            return ("select", self.eval_expr(node.test, env),
+                    self.eval_expr(node.body, env),
+                    self.eval_expr(node.orelse, env))
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env)
+        raise self.fail(node, f"{type(node).__name__} expression")
+
+    def _eval_compare(self, node: ast.Compare, env: Dict[str, Expr]) -> Expr:
+        terms: List[Expr] = []
+        left = node.left
+        for cmp_op, right in zip(node.ops, node.comparators):
+            a = self.eval_expr(left, env)
+            b = self.eval_expr(right, env)
+            if type(cmp_op) in _CMPOPS:
+                terms.append(("op", _CMPOPS[type(cmp_op)], a, b))
+            elif type(cmp_op) in _SWAPPED_CMPOPS:
+                terms.append(("op", _SWAPPED_CMPOPS[type(cmp_op)], b, a))
+            else:
+                raise self.fail(node, "comparison operator")
+            left = right
+        return terms[0] if len(terms) == 1 else ("and", *terms)
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, Expr]) -> Expr:
+        if any(kw.arg is None for kw in node.keywords):
+            raise self.fail(node, "call with **kwargs")
+        name = self.source.call_qualname(node)
+        bare = node.func.id if isinstance(node.func, ast.Name) else None
+        key = name or bare
+        args = [self.eval_expr(a, env) for a in node.args]
+        if key in _TRANSPARENT_CALLS and args:
+            return args[0]
+        if key in ("numpy.full_like", "numpy.full") and len(args) >= 2:
+            return args[1]
+        if key == "numpy.zeros_like":
+            return ("const", 0.0)
+        if key == "numpy.ones_like":
+            return ("const", 1.0)
+        if key == "numpy.where" and len(args) == 3:
+            return ("select", args[0], args[1], args[2])
+        if key in _OP_CALLS:
+            return ("op", _OP_CALLS[key], *args)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and name is None
+            and node.func.attr in ("all", "any")
+            and not args
+        ):
+            return ("op", node.func.attr,
+                    self.eval_expr(node.func.value, env))
+        if key is None:
+            raise self.fail(node, "call on a computed target")
+        canonical = self.call_map.get(key, key)
+        kwargs = tuple(
+            ("kw", kw.arg, self.eval_expr(kw.value, env))
+            for kw in sorted(node.keywords, key=lambda k: k.arg or "")
+        )
+        return ("call", canonical, *args, *kwargs)
+
+    def _eval_subscript(self, node: ast.Subscript, env: Dict[str, Expr]) -> Expr:
+        base = self.eval_expr(node.value, env)
+        index = node.slice
+        if isinstance(index, ast.Tuple) and len(index.elts) == 2:
+            first, second = index.elts
+            if (
+                isinstance(first, ast.Slice)
+                and first.lower is None
+                and first.upper is None
+                and first.step is None
+            ):
+                index = second  # x[:, j] -> per-element column j
+            else:
+                raise self.fail(node, "subscript slice shape")
+        if isinstance(index, ast.Slice):
+            raise self.fail(node, "slice subscript")
+        if (
+            isinstance(index, ast.Name)
+            and self._index_var is not None
+            and index.id == self._index_var
+        ):
+            return ("elem", base)
+        return ("elem@", base, self.eval_expr(index, env))
+
+
+def _block_returns(stmts: Sequence[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(stmts[-1], ast.Return)
+
+
+def _const(value: Any) -> Expr:
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return ("const", value)
+    if isinstance(value, (int, float)):
+        return ("const", float(value))
+    return ("const", repr(value))
+
+
+def _instantiate(term: Expr, index: int) -> Expr:
+    """``term`` with the symbolic element index pinned to ``index``."""
+    if not isinstance(term, tuple):
+        return term
+    if term[0] == "elem":
+        return ("elem@", _instantiate(term[1], index), ("const", float(index)))
+    return tuple(
+        _instantiate(part, index) if isinstance(part, tuple) else part
+        for part in term
+    )
+
+
+# ------------------------------------------------------- canonicalization
+
+
+_ELEMENTWISE_OPS = frozenset(
+    {"+", "-", "*", "/", "sqrt", "min", "max", "abs", "neg",
+     "lt", "le", "eq", "ne", "pow"}
+)
+
+
+def _canon(expr: Expr) -> Expr:
+    """Recursive canonicalization to one normal form per semantics."""
+    if not isinstance(expr, tuple) or expr[0] in ("const", "sym"):
+        return expr
+    expr = tuple(
+        _canon(part) if isinstance(part, tuple) else part for part in expr
+    )
+    tag = expr[0]
+    # select over a conjunction/disjunction distributes into nested selects,
+    # matching how scalar code fuses flag-and-mask conditions.
+    if tag == "select":
+        cond, then, other = expr[1], expr[2], expr[3]
+        if cond[0] == "not":
+            return _canon(("select", cond[1], other, then))
+        if cond[0] == "and":
+            rest = cond[2] if len(cond) == 3 else ("and", *cond[2:])
+            return _canon(
+                ("select", cond[1], ("select", rest, then, other), other)
+            )
+        if cond[0] == "or":
+            rest = cond[2] if len(cond) == 3 else ("or", *cond[2:])
+            return _canon(
+                ("select", cond[1], then, ("select", rest, then, other))
+            )
+        if cond[0] == "const":
+            return then if cond[1] is True else other if cond[1] is False else expr
+        return ("select", cond, then, other)
+    if tag == "not":
+        inner = expr[1]
+        if inner[0] == "not":
+            return inner[1]
+        return expr
+    # element indexing distributes over element-wise ops and broadcasts
+    # through scalars: (x * y)[j] == x[j] * y[j], c[j] == c.
+    if tag in ("elem", "elem@"):
+        base = expr[1]
+        if base[0] == "const":
+            return base
+        if base[0] == "op" and base[1] in _ELEMENTWISE_OPS:
+            return _canon(
+                ("op", base[1], *[_rewrap(expr, arg) for arg in base[2:]])
+            )
+        if base[0] == "select":
+            return _canon(
+                ("select", *[_rewrap(expr, arg) for arg in base[1:]])
+            )
+        return expr
+    return expr
+
+
+def _rewrap(elem_expr: Expr, base: Expr) -> Expr:
+    """Apply ``elem_expr``'s indexing to a new base."""
+    if elem_expr[0] == "elem":
+        return ("elem", base)
+    return ("elem@", base, elem_expr[2])
+
+
+def _specialize(expr: Expr, mask: Expr) -> Expr:
+    """``expr`` under the assumption that ``mask`` holds everywhere."""
+    if not isinstance(expr, tuple) or expr[0] in ("const", "sym"):
+        return expr
+    if expr == mask:
+        return ("const", True)
+    if expr[0] == "select" and expr[1] == mask:
+        return _specialize(expr[2], mask)
+    return tuple(
+        _specialize(part, mask) if isinstance(part, tuple) else part
+        for part in expr
+    )

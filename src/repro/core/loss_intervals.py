@@ -41,6 +41,27 @@ def ali_weights(n: int) -> List[float]:
 ALI_DEFAULT_WEIGHTS = ali_weights(8)
 
 
+def wali_fold_average(
+    weighted: Sequence[float], values: Sequence[float]
+) -> float:
+    """Left-fold weighted average: sum(w*v) / sum(w), 0.0 when weightless.
+
+    This is the scalar reference for the vector kernel's lane-parallel
+    WALI fold (``_WaliLanes._fold_average``); the two must stay
+    bit-identical, so both accumulate strictly left-to-right over the
+    same ``weighted``/``values`` operands.  The audit's ``twin.*`` gate
+    proves the lockstep statically.
+    """
+    total = 0.0
+    total_weight = 0.0
+    for w, v in zip(weighted, values):
+        total += w * v
+        total_weight += w
+    if total_weight == 0.0:
+        return 0.0
+    return total / total_weight
+
+
 class AverageLossIntervals:
     """The full Average Loss Interval method (paper section 3.3).
 
@@ -164,15 +185,8 @@ class AverageLossIntervals:
     def _weighted_average(
         self, intervals: Sequence[float], discounts: Sequence[float]
     ) -> float:
-        total_weight = 0.0
-        total = 0.0
-        for value, weight, discount in zip(intervals, self.weights, discounts):
-            w = weight * discount
-            total += w * value
-            total_weight += w
-        if total_weight == 0:
-            return 0.0
-        return total / total_weight
+        weighted = [w * d for w, d in zip(self.weights, discounts)]
+        return wali_fold_average(weighted, intervals)
 
     def _raw_average(self) -> float:
         """Average over closed intervals with accumulated discounts only."""

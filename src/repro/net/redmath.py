@@ -67,6 +67,7 @@ def red_drop_probability(params: RedParams, avg: float) -> float:
     return 1.0
 
 
+# tfrc-audit: twin-of repro.net.redmath.red_drop_probability
 def red_drop_probability_vec(params: RedParams, avg: np.ndarray) -> np.ndarray:
     """Element-wise :func:`red_drop_probability` over a vector of averages."""
     mid = (avg - params.min_thresh) / params.thresh_range * params.max_p
@@ -97,6 +98,7 @@ def red_uniformized(p_b: float, count: int) -> float:
     return 1.0 if denom <= 0 else min(1.0, p_b / denom)
 
 
+# tfrc-audit: twin-of repro.net.redmath.red_uniformized
 def red_uniformized_vec(p_b: np.ndarray, count: np.ndarray) -> np.ndarray:
     """Element-wise :func:`red_uniformized` over vectors of p_b and counts."""
     denom = 1.0 - count * p_b
@@ -110,6 +112,7 @@ def red_ewma(weight: float, avg: float, qlen: float) -> float:
     return avg + weight * (qlen - avg)
 
 
+# tfrc-audit: twin-of repro.net.redmath.red_ewma
 def red_ewma_vec(weight: float, avg: np.ndarray, qlen: np.ndarray) -> np.ndarray:
     """Element-wise :func:`red_ewma` over vectors of averages/occupancies."""
     return avg + weight * (qlen - avg)

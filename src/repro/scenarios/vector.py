@@ -19,7 +19,12 @@ SweepExecutor` that groups compatible cells into lockstep batches
 Because the batch kernel is bit-identical to the scalar kernel, results
 reaching the :class:`~repro.scenarios.cache.ResultCache` are byte-identical
 no matter which executor ran the sweep; ``tests/test_vector_executor.py``
-pins this file-for-file.
+pins this file-for-file.  The bit-identity contract is also enforced
+*statically*: every scalar/vector kernel pair underneath this executor is
+registered with the ``twin.*`` rules of ``tfrc-audit`` (see
+``repro.analysis.audit.rules_twins``), which prove the two bodies lower
+to the same arithmetic trace -- or, for the loop-shaped kernels, pin them
+to seeded bit-equality fuzz in ``tests/test_twin_congruence.py``.
 """
 
 from __future__ import annotations

@@ -9,8 +9,13 @@ from textwrap import dedent
 
 import pytest
 
-from repro.analysis.audit import AuditConfig, run_audit
-from repro.analysis.audit.cli import main as audit_main
+from repro.analysis.audit import (
+    AllowEntry,
+    AuditConfig,
+    run_audit,
+    run_audit_report,
+)
+from repro.analysis.audit.cli import main as audit_main, rules_markdown
 from repro.analysis.audit.records import finding_record, read_findings
 from repro.scenarios import ScenarioSpec, SweepRunner, register_scenario
 from repro.scenarios import faults
@@ -355,6 +360,355 @@ class TestTestTierRules:
         assert _rules(findings) == ["tests.missing-slow-marker"]
 
 
+# ----------------------------------------------------------- twin congruence
+
+
+class TestTwinRules:
+    def test_trace_equal_pair_is_clean(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/twinmod.py", """\
+            import numpy as np
+
+            def clamp(lo, x):
+                if x < lo:
+                    return lo
+                return x
+
+            # tfrc-audit: twin-of repro.net.twinmod.clamp
+            def clamp_vec(lo, x):
+                return np.where(x < lo, lo, x)
+            """)
+        assert run_audit(root) == []
+
+    def test_operand_reorder_diverges(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/twinmod.py", """\
+            import numpy as np
+
+            def scale(a, b, c):
+                return a / b * c
+
+            # tfrc-audit: twin-of repro.net.twinmod.scale
+            def scale_vec(a, b, c):
+                return a * c / b
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["twin.op-divergence"]
+        assert "diverge at" in findings[0].detail
+
+    def test_np_sum_substitution_flagged_twice(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/twinmod.py", """\
+            import numpy as np
+
+            def total(xs):
+                total = 0.0
+                for x in xs:
+                    total += x
+                return total
+
+            # tfrc-audit: twin-of repro.net.twinmod.total
+            def total_vec(xs):
+                return np.sum(xs, axis=1)
+            """)
+        rules = set(_rules(run_audit(root)))
+        assert rules == {"twin.nonassoc-reduction", "twin.op-divergence"}
+
+    def test_fast_path_guard_must_match_specialization(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/guardmod.py", """\
+            import numpy as np
+
+            def pick(lo, x):
+                if x < lo:
+                    return lo
+                return x
+
+            # tfrc-audit: twin-of repro.net.guardmod.pick
+            def pick_vec(lo, x):
+                below = x < lo
+                if below.all():
+                    return x
+                return np.where(below, lo, x)
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["twin.op-divergence"]
+        assert "fast-path guard" in findings[0].detail
+
+    def test_dtype_drift_in_runtime_mode_body(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/twinmod.py", """\
+            import numpy as np
+
+            def narrow(x):
+                return x
+
+            # tfrc-audit: twin-of repro.net.twinmod.narrow [runtime] -- fuzzed elsewhere
+            def narrow_vec(x):
+                y = np.asarray(x, dtype="float32")
+                return y.astype(np.float16)
+            """)
+        assert _rules(run_audit(root)) == ["twin.dtype-drift"] * 2
+
+    def test_forbidden_ops(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/twinmod.py", """\
+            import numpy as np
+
+            def dist(x, y):
+                return np.where(x < y, y, x)
+
+            # tfrc-audit: twin-of repro.net.twinmod.dist [runtime] -- fuzzed elsewhere
+            def dist_vec(x, y):
+                h = np.hypot(x, y)
+                return h ** 2.0
+            """)
+        assert _rules(run_audit(root)) == ["twin.forbidden-op"] * 2
+
+    def test_unregistered_vec_flagged_and_suppressible(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/loose.py", """\
+            def helper_vec(x):
+                return x
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["twin.unregistered-twin"]
+        _write(root, "src/repro/net/loose.py", """\
+            # tfrc-audit: ignore[twin.unregistered-twin] -- not a kernel twin
+            def helper_vec(x):
+                return x
+            """)
+        assert run_audit(root) == []
+
+    def test_runtime_mode_needs_a_reason(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/twinmod.py", """\
+            def f(x):
+                return x
+
+            # tfrc-audit: twin-of repro.net.twinmod.f [runtime]
+            def f_vec(x):
+                return x
+            """)
+        findings = run_audit(root)
+        rules = _rules(findings)
+        # the malformed declaration does not register the pair, so the
+        # suffix check fires too
+        assert rules == ["twin.unregistered-twin"] * 2
+        assert any("reason" in f.detail for f in findings)
+
+    def test_twins_table_registers_and_checks_keys(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/batch.py", """\
+            def step(x):
+                return x + 1.0
+
+            TWINS = {
+                "step_vector": ("repro.sim.batch.step", "trace"),
+                "ghost_vector": ("repro.sim.batch.step", "runtime"),
+            }
+
+            def step_vector(x):
+                return x + 1.0
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["twin.unregistered-twin"]
+        assert "ghost_vector" in findings[0].detail
+
+    def test_missing_scalar_target(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/twinmod.py", """\
+            # tfrc-audit: twin-of repro.net.nowhere.gone
+            def lost_vec(x):
+                return x
+            """)
+        findings = run_audit(root)
+        assert _rules(findings) == ["twin.unregistered-twin"]
+        assert "not found" in findings[0].detail
+
+    def test_docstring_mention_is_not_a_declaration(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/net/docs.py", '''\
+            """Explains the syntax:
+
+                # tfrc-audit: twin-of repro.net.redmath.red_drop_probability
+
+            without declaring anything."""
+            ''')
+        assert run_audit(root) == []
+
+
+# ----------------------------------------------------------- stale allowlist
+
+
+class TestStaleAllowlist:
+    def _config(self, *entries):
+        return AuditConfig(allowlist=tuple(entries))
+
+    def test_entry_matching_no_file_is_stale(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/ok.py", "X = 1.0\n")
+        report = run_audit_report(root, self._config(
+            AllowEntry("src/repro/nowhere/", ("determinism",), "why"),
+        ))
+        assert len(report.stale_allowlist) == 1
+        assert "matches no scanned file" in report.stale_allowlist[0]
+
+    def test_entry_suppressing_nothing_is_stale(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/ok.py", "X = 1.0\n")
+        report = run_audit_report(root, self._config(
+            AllowEntry("src/repro/sim/", ("determinism",), "why"),
+        ))
+        assert len(report.stale_allowlist) == 1
+        assert "suppresses no finding" in report.stale_allowlist[0]
+
+    def test_live_entry_is_not_stale(self, tmp_path):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/probe.py", """\
+            import time
+
+            def sample():
+                return time.time()
+            """)
+        report = run_audit_report(root, self._config(
+            AllowEntry("src/repro/sim/", ("determinism",), "why"),
+        ))
+        assert report.findings == []
+        assert report.stale_allowlist == []
+
+    def test_cli_warns_only_under_check_baseline(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/ok.py", "X = 1.0\n")
+        # the default allowlist's entries match none of this tiny tree
+        assert audit_main(["--root", str(root)]) == 0
+        assert "stale allowlist" not in capsys.readouterr().out
+        assert audit_main(["--root", str(root), "--check-baseline"]) == 0
+        assert "stale allowlist" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------ --paths mode
+
+
+class TestPathsMode:
+    def _two_file_tree(self, tmp_path):
+        root = _tree(tmp_path)
+        for name in ("a", "b"):
+            _write(root, f"src/repro/sim/{name}.py", """\
+                import time
+
+                def sample():
+                    return time.time()
+                """)
+        return root
+
+    def test_file_checkers_restricted_to_paths(self, tmp_path):
+        root = self._two_file_tree(tmp_path)
+        report = run_audit_report(root, paths=["src/repro/sim/a.py"])
+        assert [f.path for f in report.findings] == ["src/repro/sim/a.py"]
+        assert report.restricted
+        assert report.stale_allowlist == []
+
+    def test_project_checkers_still_scan_whole_tree(self, tmp_path):
+        root = self._two_file_tree(tmp_path)
+        _write(root, "src/repro/scenarios/executors.py", """\
+            EXECUTOR_NAMES = ("serial", "ghost")
+
+            class SweepExecutor:
+                name = "abstract"
+
+            class SerialExecutor(SweepExecutor):
+                name = "serial"
+            """)
+        report = run_audit_report(root, paths=["src/repro/sim/a.py"])
+        rules = [f.rule for f in report.findings]
+        assert "registry.executor-name-drift" in rules  # unlisted file
+
+    def test_cli_paths_run(self, tmp_path, capsys):
+        root = self._two_file_tree(tmp_path)
+        assert audit_main(
+            ["--root", str(root), "--paths", "src/repro/sim/a.py"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/sim/a.py" in out
+        assert "src/repro/sim/b.py" not in out
+
+    def test_paths_conflicts_with_update_baseline(self, tmp_path):
+        root = self._two_file_tree(tmp_path)
+        assert audit_main(
+            ["--root", str(root), "--update-baseline",
+             "--paths", "src/repro/sim/a.py"]
+        ) == 2
+
+    def test_paths_mode_does_not_report_stale_baseline(self, tmp_path, capsys):
+        root = self._two_file_tree(tmp_path)
+        assert audit_main(["--root", str(root), "--update-baseline"]) == 0
+        (root / "src/repro/sim/b.py").write_text("X = 1.0\n")
+        capsys.readouterr()
+        # b's baselined finding is gone, but a partial run cannot know that
+        assert audit_main(
+            ["--root", str(root), "--paths", "src/repro/sim/a.py"]
+        ) == 0
+        assert "stale" not in capsys.readouterr().out
+
+
+# --------------------------------------------------- GitHub Actions rendering
+
+
+class TestAnnotationsOutput:
+    def test_error_annotation_per_finding(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/probe.py", """\
+            import time
+
+            def sample():
+                return time.time()
+            """)
+        assert audit_main(["--root", str(root), "--annotations"]) == 1
+        out = capsys.readouterr().out
+        assert (
+            "::error file=src/repro/sim/probe.py,line=4,"
+            "title=tfrc-audit determinism.wall-clock::" in out
+        )
+
+    def test_clean_tree_emits_no_annotations(self, tmp_path, capsys):
+        root = _tree(tmp_path)
+        _write(root, "src/repro/sim/ok.py", "X = 1.0\n")
+        assert audit_main(["--root", str(root), "--annotations"]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+
+# ----------------------------------------------------------- rule-table sync
+
+
+class TestRulesDocSync:
+    def test_readme_rule_table_is_generated(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        begin = "<!-- tfrc-audit-rules:begin"
+        end = "<!-- tfrc-audit-rules:end -->"
+        assert begin in readme and end in readme, (
+            "README must embed the generated rule table between "
+            "tfrc-audit-rules markers"
+        )
+        start = readme.index(begin)
+        start = readme.index("\n", start) + 1
+        embedded = readme[start:readme.index(end)].strip()
+        assert embedded == rules_markdown().strip(), (
+            "README rule table drifted; paste the output of "
+            "`tfrc-audit --rules-markdown` between the markers"
+        )
+
+    def test_cli_rules_markdown_flag(self, capsys):
+        assert audit_main(["--rules-markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out == rules_markdown()
+        assert "`twin.op-divergence`" in out
+
+    def test_rules_alias_lists_rules(self, capsys):
+        assert audit_main(["--rules"]) == 0
+        assert "twin.unregistered-twin" in capsys.readouterr().out
+
+
 # -------------------------------------------------------- baseline + CLI gate
 
 
@@ -444,6 +798,7 @@ class TestRepoIsClean:
         report = json.loads(capsys.readouterr().out)
         assert report["findings"] == []
         assert report["unjustified_baseline"] == []
+        assert report["stale_allowlist"] == []
 
     def test_committed_baseline_entries_are_justified(self):
         payload = json.loads(

@@ -1,0 +1,252 @@
+"""Cross-validation of the ``twin.*`` static gate against reality.
+
+Two directions, per the twin-congruence contract:
+
+* **The analyzer catches drift** -- a copy of the real RED module with a
+  planted operand reorder (or an ``np.sum`` substitution) in its vector
+  twin must produce ``twin.op-divergence`` / ``twin.nonassoc-reduction``.
+
+* **The proof is not vacuous** -- every ``trace``-mode twin pair in the
+  live tree (the ones the analyzer certifies congruent) is fuzzed here
+  over seeded inputs and must be *bit-identical*, element for element.
+  The fuzz registry is keyed by the collected pairs, so adding a new
+  trace pair without a fuzz case fails the coverage assertion, and a
+  ``runtime``-mode registration must be on the known list (with its fuzz
+  living in tests/test_vector_kernel.py for the batch kernel).
+"""
+
+import importlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.audit.engine import run_audit
+from repro.analysis.audit.rules_twins import collect_repo_twins
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SEED = 20260808
+
+#: runtime-mode pairs whose congruence is enforced by dedicated fuzz
+#: suites instead of a static trace proof.
+KNOWN_RUNTIME_PAIRS = {
+    # masked bisection + whole-batch kernel: grid-equivalence fuzz in
+    # tests/test_vector_kernel.py
+    "repro.core.equations.invert_response_vec",
+    "repro.sim.vector_kernel.run_cells_vector",
+}
+
+
+def _import_dotted(dotted: str):
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        try:
+            module = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        obj = module
+        for attr in parts[split:]:
+            obj = getattr(obj, attr)
+        return obj
+    raise ImportError(f"cannot import {dotted}")
+
+
+def _assert_bits_equal(scalar_value, vector_value, context: str) -> None:
+    a = np.float64(scalar_value)
+    b = np.float64(vector_value)
+    assert a.tobytes() == b.tobytes(), (
+        f"{context}: scalar {a!r} != vector {b!r} (bitwise)"
+    )
+
+
+# --------------------------------------------------------------- fuzz cases
+
+
+def _fuzz_red_drop_probability(scalar, vector):
+    from repro.net.redmath import RedParams
+
+    rng = np.random.default_rng(SEED)
+    cases = [
+        RedParams(min_thresh=5.0, max_thresh=15.0),
+        RedParams(min_thresh=5.0, max_thresh=15.0, gentle=False),
+        RedParams(min_thresh=2.0, max_thresh=7.0, max_p=0.07, weight=0.01),
+    ]
+    for params in cases:
+        # span every zone: below min, linear, gentle, forced, plus the
+        # exact thresholds; and an all-below-max batch for the fast path.
+        avg = np.concatenate([
+            rng.uniform(0.0, 2.5 * params.max_thresh, size=256),
+            np.array([
+                params.min_thresh, params.max_thresh,
+                params.two_max_thresh, 0.0,
+            ]),
+        ])
+        out = vector(params, avg)
+        for i in range(avg.size):
+            _assert_bits_equal(
+                scalar(params, float(avg[i])), out[i],
+                f"red_drop_probability(avg={avg[i]!r})",
+            )
+        fast = rng.uniform(0.0, params.max_thresh * 0.999, size=64)
+        fast_out = vector(params, fast)
+        for i in range(fast.size):
+            _assert_bits_equal(
+                scalar(params, float(fast[i])), fast_out[i],
+                f"red_drop_probability fast path (avg={fast[i]!r})",
+            )
+
+
+def _fuzz_red_uniformized(scalar, vector):
+    rng = np.random.default_rng(SEED + 1)
+    p_b = rng.uniform(0.0, 0.3, size=256)
+    count = rng.integers(-1, 60, size=256).astype(np.float64)
+    # force some denominators to and past zero
+    p_b[:16] = 0.5
+    count[:16] = np.arange(16, dtype=np.float64)
+    out = vector(p_b, count)
+    for i in range(p_b.size):
+        _assert_bits_equal(
+            scalar(float(p_b[i]), float(count[i])), out[i],
+            f"red_uniformized(p_b={p_b[i]!r}, count={count[i]!r})",
+        )
+
+
+def _fuzz_red_ewma(scalar, vector):
+    rng = np.random.default_rng(SEED + 2)
+    for weight in (0.002, 0.25, 1.0):
+        avg = rng.uniform(0.0, 40.0, size=256)
+        qlen = rng.uniform(0.0, 60.0, size=256)
+        out = vector(weight, avg, qlen)
+        for i in range(avg.size):
+            _assert_bits_equal(
+                scalar(weight, float(avg[i]), float(qlen[i])), out[i],
+                f"red_ewma(w={weight}, avg={avg[i]!r})",
+            )
+
+
+def _fuzz_tcp_response_rate(scalar, vector):
+    rng = np.random.default_rng(SEED + 3)
+    rtt = rng.uniform(0.01, 0.5, size=256)
+    p = 10.0 ** rng.uniform(-9.0, 0.0, size=256)  # spans below P_MIN too
+    t_rto = 4.0 * rtt
+    for packet_size in (500, 1460):
+        out = vector(float(packet_size), rtt, p, t_rto)
+        for i in range(rtt.size):
+            _assert_bits_equal(
+                scalar(packet_size, float(rtt[i]), float(p[i]),
+                       float(t_rto[i])),
+                out[i],
+                f"tcp_response_rate(rtt={rtt[i]!r}, p={p[i]!r})",
+            )
+
+
+def _fuzz_wali_fold_average(scalar, vector):
+    rng = np.random.default_rng(SEED + 4)
+    weighted = rng.uniform(0.0, 1.0, size=(64, 8))
+    values = rng.uniform(1.0, 500.0, size=(64, 8))
+    weighted[:8, 4:] = 0.0  # partially filled histories
+    weighted[8:12, :] = 0.0  # weightless lanes take the 0.0 branch
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = vector(weighted, values)
+    for i in range(weighted.shape[0]):
+        _assert_bits_equal(
+            scalar(list(weighted[i]), list(values[i])), out[i],
+            f"wali_fold_average(row={i})",
+        )
+
+
+FUZZERS = {
+    "repro.net.redmath.red_drop_probability_vec": _fuzz_red_drop_probability,
+    "repro.net.redmath.red_uniformized_vec": _fuzz_red_uniformized,
+    "repro.net.redmath.red_ewma_vec": _fuzz_red_ewma,
+    "repro.core.equations.tcp_response_rate_vec": _fuzz_tcp_response_rate,
+    "repro.sim.vector_kernel._WaliLanes._fold_average": (
+        _fuzz_wali_fold_average
+    ),
+}
+
+
+def _live_pairs():
+    pairs, problems = collect_repo_twins(REPO_ROOT)
+    assert problems == [], [p.detail for p in problems]
+    return pairs
+
+
+class TestLiveTwinRegistry:
+    def test_trace_pairs_each_have_a_fuzzer(self):
+        """Every statically certified pair must also be fuzzed here."""
+        trace = {p.vector_dotted for p in _live_pairs() if p.mode == "trace"}
+        assert trace == set(FUZZERS), (
+            "trace-mode twin registry and fuzz registry drifted; add a "
+            "fuzz case for each new pair"
+        )
+
+    def test_runtime_pairs_are_the_known_set(self):
+        """A [runtime] registration must name its fuzz coverage here."""
+        runtime = {
+            p.vector_dotted for p in _live_pairs() if p.mode == "runtime"
+        }
+        assert runtime == KNOWN_RUNTIME_PAIRS
+
+
+class TestLiveTwinCongruence:
+    @pytest.mark.parametrize("vector_dotted", sorted(FUZZERS))
+    def test_congruence_clean_pair_is_bit_identical(self, vector_dotted):
+        pair = next(
+            p for p in _live_pairs() if p.vector_dotted == vector_dotted
+        )
+        scalar = _import_dotted(pair.scalar)
+        vector = _import_dotted(vector_dotted)
+        FUZZERS[vector_dotted](scalar, vector)
+
+
+class TestPlantedDrift:
+    def _copy_redmath(self, tmp_path: Path, mutate) -> Path:
+        root = tmp_path
+        (root / "src/repro/net").mkdir(parents=True)
+        text = (REPO_ROOT / "src/repro/net/redmath.py").read_text(
+            encoding="utf-8"
+        )
+        mutated = mutate(text)
+        assert mutated != text, "planting failed: pattern not found"
+        (root / "src/repro/net/redmath.py").write_text(
+            mutated, encoding="utf-8"
+        )
+        return root
+
+    def test_operand_reorder_in_real_red_twin_is_flagged(self, tmp_path):
+        root = self._copy_redmath(
+            tmp_path,
+            lambda text: text.replace(
+                "    mid = (avg - params.min_thresh)"
+                " / params.thresh_range * params.max_p",
+                "    mid = (avg - params.min_thresh)"
+                " * params.max_p / params.thresh_range",
+            ),
+        )
+        findings = [f for f in run_audit(root) if f.rule == "twin.op-divergence"]
+        assert findings, "planted operand reorder was not flagged"
+        assert "red_drop_probability" in findings[0].detail
+
+    def test_np_sum_substitution_in_ewma_twin_is_flagged(self, tmp_path):
+        # the ewma bodies are textually identical, so anchor the
+        # replacement on the vec def's docstring to mutate only the twin
+        root = self._copy_redmath(
+            tmp_path,
+            lambda text: text.replace(
+                '    """Element-wise :func:`red_ewma` over vectors of'
+                ' averages/occupancies."""\n'
+                "    return avg + weight * (qlen - avg)\n",
+                '    """Element-wise :func:`red_ewma` over vectors of'
+                ' averages/occupancies."""\n'
+                "    return np.sum(np.stack([avg, weight * (qlen - avg)]),"
+                " axis=0)\n",
+            ),
+        )
+        rules = {f.rule for f in run_audit(root)}
+        assert "twin.op-divergence" in rules
+        assert "twin.nonassoc-reduction" in rules
+
+    def test_unmutated_copy_is_clean(self, tmp_path):
+        root = self._copy_redmath(tmp_path, lambda text: text + "\n# tail\n")
+        assert [f.rule for f in run_audit(root)] == []
